@@ -1,0 +1,90 @@
+"""Ablations of the proposal's individual mechanisms (DESIGN.md §7)."""
+
+from conftest import emit
+
+from repro.experiments import ablations
+from repro.experiments.common import ExperimentConfig
+
+
+def _small(config: ExperimentConfig) -> ExperimentConfig:
+    return config.scaled(max(1500, config.measure // 3))
+
+
+def test_router_ablation(benchmark, config, report_dir):
+    points = benchmark.pedantic(
+        ablations.router_ablation, args=(_small(config),), rounds=1, iterations=1
+    )
+    emit(report_dir, "ablation_router",
+         ablations.render(points, "Ablation: single-cycle vs pipelined router"))
+    single, pipelined = points
+    # The single-cycle router is the enabler: the pipeline costs real IPC.
+    assert pipelined.geomean_ipc < single.geomean_ipc
+    assert pipelined.mean_latency > 1.3 * single.mean_latency
+
+
+def test_spike_queue_ablation(benchmark, config, report_dir):
+    points = benchmark.pedantic(
+        ablations.spike_queue_ablation, args=(_small(config),),
+        rounds=1, iterations=1,
+    )
+    emit(report_dir, "ablation_spike_queue",
+         ablations.render(points, "Ablation: halo spike queue depth"))
+    by_depth = {p.label.split("-")[0]: p for p in points}
+    # Two entries (the paper's choice) beat one; four adds little.
+    assert by_depth["2"].geomean_ipc >= by_depth["1"].geomean_ipc
+    gain_1_to_2 = by_depth["2"].geomean_ipc - by_depth["1"].geomean_ipc
+    gain_2_to_4 = by_depth["4"].geomean_ipc - by_depth["2"].geomean_ipc
+    assert gain_2_to_4 <= max(gain_1_to_2, 0.01)
+
+
+def test_mechanism_factoring(benchmark, config, report_dir):
+    points = benchmark.pedantic(
+        ablations.mechanism_ablation, args=(_small(config),),
+        rounds=1, iterations=1,
+    )
+    emit(report_dir, "ablation_mechanisms",
+         ablations.render(points, "Ablation: factoring the proposal"))
+    latencies = [p.mean_latency for p in points]
+    # Each added mechanism reduces average latency.
+    assert latencies[1] < latencies[0]          # Fast-LRU helps
+    assert latencies[3] < latencies[2]          # halo helps
+    assert points[3].geomean_ipc > points[0].geomean_ipc
+
+
+def test_sampling_robustness(benchmark, config, report_dir):
+    ratios = benchmark.pedantic(
+        ablations.sampling_ablation, args=(_small(config),),
+        rounds=1, iterations=1,
+    )
+    emit(report_dir, "ablation_sampling",
+         "Halo/mesh IPC ratio vs sampled index space: "
+         + ", ".join(f"{k}: {v:.2f}" for k, v in ratios.items()))
+    values = list(ratios.values())
+    # The halo wins under every sampling factor, by a similar margin.
+    assert all(v > 1.02 for v in values)
+    assert max(values) - min(values) < 0.25
+
+
+def test_issue_model_robustness(benchmark, config, report_dir):
+    ratios = benchmark.pedantic(
+        ablations.issue_model_ablation, args=(_small(config),),
+        rounds=1, iterations=1,
+    )
+    emit(report_dir, "ablation_issue_model",
+         "Halo/mesh IPC ratio vs hide_cycles: "
+         + ", ".join(f"{k}: {v:.2f}" for k, v in ratios.items()))
+    values = list(ratios.values())
+    assert all(v > 1.0 for v in values)
+
+
+def test_spiral_spike_ablation(benchmark, config, report_dir):
+    points = benchmark.pedantic(
+        ablations.spiral_spike_ablation, args=(_small(config),),
+        rounds=1, iterations=1,
+    )
+    emit(report_dir, "ablation_spiral",
+         ablations.render(points, "Ablation: straight vs spiral halo spikes"))
+    straight, spiral = points
+    # Section 4's claim: the spiral's longer wires cost performance.
+    assert spiral.mean_latency > straight.mean_latency
+    assert spiral.geomean_ipc < straight.geomean_ipc

@@ -1,0 +1,24 @@
+"""CMP scaling (paper future work): mesh vs halo under shared load."""
+
+from conftest import emit
+
+from repro.experiments import cmp_scaling
+
+
+def test_cmp_scaling(benchmark, config, report_dir):
+    measure = max(1000, config.measure // 5)
+    points = benchmark.pedantic(
+        cmp_scaling.run, kwargs={"measure": measure}, rounds=1, iterations=1
+    )
+    emit(report_dir, "cmp_scaling", cmp_scaling.render(points))
+    by_key = {(p.design, p.num_cores): p for p in points}
+    for design in ("A", "F"):
+        # Throughput grows with core count...
+        assert by_key[(design, 2)].aggregate_ipc > by_key[(design, 1)].aggregate_ipc
+        assert by_key[(design, 4)].aggregate_ipc > by_key[(design, 2)].aggregate_ipc
+    # ...and the halo sustains it at lower latency at every count.
+    for cores in (1, 2, 4):
+        assert by_key[("F", cores)].average_latency \
+            < by_key[("A", cores)].average_latency
+        assert by_key[("F", cores)].aggregate_ipc \
+            > by_key[("A", cores)].aggregate_ipc

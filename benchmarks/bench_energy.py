@@ -1,0 +1,68 @@
+"""Energy analysis + on-demand power gating (the paper's future work)."""
+
+from conftest import emit
+
+from repro.core.system import NetworkedCacheSystem
+from repro.power import EnergyMeter, GatingPolicy, simulate_gating
+from repro.workloads import TraceGenerator, profile_by_name
+
+
+def _run(design: str, scheme: str, measure: int):
+    profile = profile_by_name("twolf")
+    trace, warmup = TraceGenerator(profile, seed=2).generate_with_warmup(
+        measure=measure
+    )
+    system = NetworkedCacheSystem(design=design, scheme=scheme)
+    result = system.run(trace, profile, warmup=warmup)
+    return system, result
+
+
+def _sweep(measure: int):
+    rows = {}
+    meter = EnergyMeter()
+    for design, scheme in (
+        ("A", "multicast+promotion"),
+        ("A", "unicast+fast_lru"),
+        ("A", "multicast+fast_lru"),
+        ("F", "multicast+fast_lru"),
+    ):
+        system, result = _run(design, scheme, measure)
+        report = meter.measure(system, result)
+        gating = simulate_gating(system, result, GatingPolicy(idle_threshold=2000))
+        rows[(design, scheme)] = (report, gating)
+    return rows
+
+
+def test_energy_and_gating(benchmark, config, report_dir):
+    rows = benchmark.pedantic(
+        _sweep, args=(max(1500, config.measure // 3),), rounds=1, iterations=1
+    )
+    lines = ["Energy per L2 access (pJ) and on-demand gating outcomes"]
+    for (design, scheme), (report, gating) in rows.items():
+        fractions = report.fractions()
+        lines.append(
+            f"  {design}/{scheme:22s} {report.pj_per_access:8.0f} pJ/acc "
+            f"(net {fractions['router'] + fractions['link']:.0%}, "
+            f"bank {fractions['bank']:.0%}, leak {fractions['leakage']:.0%}) | "
+            f"gated {gating.gated_fraction:.0%}, "
+            f"wake +{gating.average_latency_penalty:.2f} cyc/acc"
+        )
+    emit(report_dir, "energy", "\n".join(lines))
+
+    a_promo = rows[("A", "multicast+promotion")][0]
+    a_fast = rows[("A", "multicast+fast_lru")][0]
+    f_fast = rows[("F", "multicast+fast_lru")][0]
+    unicast = rows[("A", "unicast+fast_lru")][0]
+
+    # The halo's smaller network and die cut energy per access hard.
+    assert f_fast.pj_per_access < 0.75 * a_fast.pj_per_access
+    # Fast-LRU does not cost energy over Promotion at the same cast.
+    assert a_fast.total_pj <= 1.1 * a_promo.total_pj
+    # Multicast touches every bank of the set: more bank energy than the
+    # sequential search (the paper's Section-7 caveat about multicast).
+    assert a_fast.bank_pj > unicast.bank_pj
+
+    # Gating: the unicast search leaves far more banks idle to gate.
+    gating_unicast = rows[("A", "unicast+fast_lru")][1]
+    gating_multicast = rows[("A", "multicast+fast_lru")][1]
+    assert gating_unicast.gated_fraction > gating_multicast.gated_fraction

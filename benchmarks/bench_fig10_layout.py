@@ -1,0 +1,17 @@
+"""Figure 10: halo floorplan geometry."""
+
+from conftest import emit
+
+from repro.experiments import fig10_layout
+
+
+def test_fig10_halo_layout(benchmark, report_dir):
+    results = benchmark.pedantic(fig10_layout.run, rounds=1, iterations=1)
+    emit(report_dir, "fig10_layout", fig10_layout.render(results))
+    segments = results["F"]["layout"]["segments"]
+    # Tiles grow monotonically along the spike (64,64,128,256,512 KB).
+    sides = [seg.side_mm for seg in segments]
+    assert sides == sorted(sides)
+    # Non-uniform banks waste several times less die than uniform ones
+    # (paper: 6.3x).
+    assert results["waste_ratio"] > 4

@@ -1,0 +1,15 @@
+"""Figure 2 example: LRU vs Fast-LRU communication hop counts."""
+
+from conftest import emit
+
+from repro.experiments import fig2_hops
+
+
+def test_fig2_hop_example(benchmark, report_dir):
+    results = benchmark.pedantic(fig2_hops.run, rounds=1, iterations=1)
+    emit(report_dir, "fig2_hops", fig2_hops.render(results))
+    lru, fast = results["lru"], results["fast_lru"]
+    # Fast-LRU roughly halves LRU's communication (paper: 21 -> 12 hops).
+    assert fast.total_hops < lru.total_hops
+    assert 0.3 <= fast.total_hops / lru.total_hops <= 0.75
+    assert fast.transaction_latency < lru.transaction_latency

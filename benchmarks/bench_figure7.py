@@ -1,0 +1,17 @@
+"""Figure 7: latency distribution of L2 accesses (Unicast LRU)."""
+
+from conftest import emit
+
+from repro.experiments import figure7
+from repro.experiments.common import ExperimentConfig
+
+
+def test_figure7_latency_distribution(benchmark, config: ExperimentConfig, report_dir):
+    rows = benchmark.pedantic(figure7.run, args=(config,), rounds=1, iterations=1)
+    emit(report_dir, "figure7", figure7.render(rows))
+    avg = figure7.average_shares(rows)
+    # The paper's observation: network dominates (65%), then bank (25%),
+    # then memory (10%).
+    assert avg["network"] > avg["bank"] > 0
+    assert avg["network"] > 0.45
+    assert avg["memory"] < avg["network"]

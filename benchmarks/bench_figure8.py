@@ -1,0 +1,27 @@
+"""Figure 8 (a/b/c): the five replacement schemes on Design A."""
+
+from conftest import emit
+
+from repro.experiments import figure8
+from repro.experiments.common import ExperimentConfig
+
+
+def test_figure8_replacement_schemes(benchmark, config: ExperimentConfig, report_dir):
+    results = benchmark.pedantic(figure8.run, args=(config,), rounds=1, iterations=1)
+    emit(report_dir, "figure8", figure8.render(results))
+    ratios = figure8.summary(results)
+    # Unicast LRU costs a little over Promotion (paper +4.4%)...
+    assert 0.98 <= ratios["lru_vs_promotion"] <= 1.25
+    # ...but Fast-LRU cuts it substantially (paper -30.2%).
+    assert ratios["fastlru_vs_lru"] < 0.85
+    # Multicast Fast-LRU strongly beats Unicast LRU (paper -46%).
+    assert ratios["mc_fastlru_vs_lru"] < 0.85
+    # ...including hit (paper -48%) and miss (paper -32%) latency.
+    assert ratios["mc_fastlru_hit_vs_lru"] < 0.90
+    assert ratios["mc_fastlru_miss_vs_lru"] < 0.85
+    # And it beats Multicast Promotion in latency and IPC (paper -37%,
+    # +20%; our synthetic traces reproduce the LRU-vs-Promotion hit-rate
+    # gap only on the capacity-pressured benchmarks, so the measured IPC
+    # gain is positive but smaller -- see EXPERIMENTS.md).
+    assert ratios["mc_fastlru_vs_mc_promotion"] < 0.85
+    assert ratios["mc_fastlru_ipc_gain"] > 1.0

@@ -1,0 +1,27 @@
+"""Figure 9: normalized IPC of Designs A-F (Multicast Fast-LRU)."""
+
+from conftest import emit
+
+from repro.experiments import figure9
+from repro.experiments.common import ExperimentConfig
+
+
+def test_figure9_design_space(benchmark, config: ExperimentConfig, report_dir):
+    result = benchmark.pedantic(figure9.run, args=(config,), rounds=1, iterations=1)
+    emit(report_dir, "figure9", figure9.render(result))
+    geo = {d: result.geomean_normalized(d) for d in "ABCDEF"}
+    # B tracks A (paper: ~same, +7-10% on low-hit-rate benchmarks).
+    assert 0.95 <= geo["B"] <= 1.15
+    # The halos win (paper: E +12%, F +13%).
+    assert geo["E"] > 1.05
+    assert geo["F"] > 1.10
+    assert geo["F"] >= geo["E"] - 0.02
+    # D (non-uniform mesh) sits below A (paper: -12%).
+    assert geo["D"] < 1.02
+    # art: no misses, pure wire-delay sensitivity (paper: C/D degrade,
+    # F x1.33).
+    assert result.normalized("D", "art") < 0.9
+    assert result.normalized("C", "art") < 0.95
+    assert result.normalized("F", "art") > 1.2
+    # lucas gains on F (paper x1.19).
+    assert result.normalized("F", "lucas") > 1.1

@@ -1,0 +1,20 @@
+"""Abstract-level combined claims (IPC +38%, interconnect area 23%)."""
+
+from conftest import emit
+
+from repro.experiments import headline
+from repro.experiments.common import ExperimentConfig
+
+
+def test_headline_claims(benchmark, config: ExperimentConfig, report_dir):
+    result = benchmark.pedantic(headline.run, args=(config,), rounds=1, iterations=1)
+    emit(report_dir, "headline", headline.render(result))
+    # Full proposal vs mesh + Multicast Promotion (paper +38%; ours is
+    # dominated by the halo term -- see EXPERIMENTS.md on the IPC gap).
+    assert result.ipc_full_vs_baseline > 1.10
+    # Multicast Fast-LRU alone (paper +20%).
+    assert result.ipc_fastlru_vs_promotion > 1.0
+    # Halo topology alone (paper +18% abstract / +13% Section 6.2).
+    assert result.ipc_halo_vs_mesh > 1.05
+    # Interconnect area of F vs A (paper ~23%).
+    assert result.interconnect_area_ratio < 0.35

@@ -1,0 +1,16 @@
+"""Section 4: removable / underutilized link counts."""
+
+from conftest import emit
+
+from repro.experiments import link_analysis
+
+
+def test_link_analysis(benchmark, report_dir):
+    rows = benchmark.pedantic(link_analysis.run, rounds=1, iterations=1)
+    emit(report_dir, "link_analysis", link_analysis.render(rows))
+    for row in rows:
+        assert row.paper_removable == (row.n - 2) ** 2
+        assert row.paper_underutilized == row.n * (row.n - 2) + 2 * (row.n - 1)
+        # Our constructed simplification approaches ~50% for large meshes,
+        # bracketing the paper's two-stage 25% + 25% savings.
+        assert 0.3 <= row.link_saving <= 0.55

@@ -1,0 +1,18 @@
+"""Flit-level NoC under load: latency vs offered traffic."""
+
+from conftest import emit
+
+from repro.experiments import noc_load
+
+
+def test_load_latency_curve(benchmark, report_dir):
+    points = benchmark.pedantic(noc_load.run, rounds=1, iterations=1)
+    emit(report_dir, "noc_load", noc_load.render(points))
+    # Everything offered is eventually delivered.
+    for point in points:
+        assert point.delivered == point.offered
+    # Latency grows with load...
+    latencies = [p.average_latency for p in points]
+    assert latencies == sorted(latencies)
+    # ...and the heaviest load is visibly contended vs the lightest.
+    assert latencies[-1] > 1.5 * latencies[0]

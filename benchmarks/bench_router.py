@@ -1,0 +1,71 @@
+"""Router microbenchmarks on the flit-level NoC (Section 3.1).
+
+Not a paper figure, but the claims behind Fig. 1: the single-cycle router
+moves a flit per hop per cycle (vs the classic pipelined router), and
+chain multicast delivers a column in one traversal where unicast needs a
+packet per destination.
+"""
+
+from conftest import emit
+
+from repro.config import RouterConfig
+from repro.noc import MeshTopology, Network, MessageType, Packet
+
+
+def _drain_single(single_cycle: bool) -> int:
+    mesh = MeshTopology(8, 8)
+    net = Network(
+        mesh,
+        router_config=RouterConfig(single_cycle=single_cycle),
+    )
+    net.inject(Packet(MessageType.READ_REQUEST, source=(0, 0), destinations=((7, 7),)))
+    net.run_until_drained()
+    return net.stats.deliveries[0].latency
+
+
+def _multicast_column() -> tuple[int, int]:
+    mesh = MeshTopology(8, 8)
+    net = Network(mesh)
+    destinations = tuple((3, y) for y in range(8))
+    net.inject(Packet(MessageType.READ_REQUEST, source=(3, 0), destinations=destinations))
+    cycles = net.run_until_drained()
+    return cycles, net.total_replications()
+
+
+def _unicast_column() -> int:
+    mesh = MeshTopology(8, 8)
+    net = Network(mesh)
+    for y in range(8):
+        net.inject(
+            Packet(MessageType.READ_REQUEST, source=(3, 0), destinations=((3, y),))
+        )
+    return net.run_until_drained()
+
+
+def test_single_cycle_vs_pipelined(benchmark, report_dir):
+    single = benchmark.pedantic(_drain_single, args=(True,), rounds=3, iterations=1)
+    pipelined = _drain_single(False)
+    emit(
+        report_dir,
+        "router_single_cycle",
+        f"8x8 corner-to-corner latency: single-cycle {single} cycles, "
+        f"pipelined {pipelined} cycles ({pipelined / single:.1f}x)",
+    )
+    # The single-cycle router cuts per-hop latency several-fold.
+    assert single < pipelined
+    assert pipelined / single > 2.0
+
+
+def test_multicast_vs_unicast_column(benchmark, report_dir):
+    (mc_cycles, replications) = benchmark.pedantic(
+        _multicast_column, rounds=3, iterations=1
+    )
+    uc_cycles = _unicast_column()
+    emit(
+        report_dir,
+        "router_multicast",
+        f"column delivery to 8 banks: multicast {mc_cycles} cycles "
+        f"({replications} replications), 8x unicast {uc_cycles} cycles",
+    )
+    assert replications >= 7  # one split per bank router except the last
+    assert mc_cycles <= uc_cycles

@@ -1,0 +1,40 @@
+"""Seed robustness: the design-space conclusions must not depend on the
+synthetic traces' random seed."""
+
+from conftest import emit
+
+from repro.core.system import NetworkedCacheSystem
+from repro.experiments.common import geometric_mean
+from repro.workloads import TraceGenerator, profile_by_name
+
+BENCHMARKS = ("art", "twolf", "mcf")
+
+
+def _halo_ratio(seed: int, measure: int) -> float:
+    ipcs = {"A": [], "F": []}
+    for name in BENCHMARKS:
+        profile = profile_by_name(name)
+        trace, warmup = TraceGenerator(profile, seed=seed).generate_with_warmup(
+            measure=measure
+        )
+        for design in ("A", "F"):
+            system = NetworkedCacheSystem(design=design,
+                                          scheme="multicast+fast_lru")
+            ipcs[design].append(system.run(trace, profile, warmup=warmup).ipc)
+    return geometric_mean(ipcs["F"]) / geometric_mean(ipcs["A"])
+
+
+def _sweep(measure: int) -> dict[int, float]:
+    return {seed: _halo_ratio(seed, measure) for seed in (1, 7, 42)}
+
+
+def test_halo_win_robust_to_seed(benchmark, config, report_dir):
+    ratios = benchmark.pedantic(
+        _sweep, args=(max(1200, config.measure // 4),), rounds=1, iterations=1
+    )
+    emit(report_dir, "seed_robustness",
+         "Halo/mesh IPC ratio by trace seed: "
+         + ", ".join(f"seed {k}: {v:.2f}" for k, v in ratios.items()))
+    values = list(ratios.values())
+    assert all(v > 1.05 for v in values)
+    assert max(values) - min(values) < 0.15

@@ -1,0 +1,30 @@
+"""Technology sensitivity: does the halo's win survive parameter shifts?"""
+
+from conftest import emit
+
+from repro.experiments import sensitivity
+from repro.experiments.common import ExperimentConfig
+
+
+def test_memory_latency_sensitivity(benchmark, config: ExperimentConfig, report_dir):
+    cfg = config.scaled(max(1200, config.measure // 4))
+    points = benchmark.pedantic(
+        sensitivity.memory_latency_sweep, args=(cfg,), rounds=1, iterations=1
+    )
+    emit(report_dir, "sensitivity_memory",
+         sensitivity.render(points, "Sensitivity: off-chip base latency"))
+    # The halo wins at every memory speed.
+    assert all(p.halo_ratio > 1.0 for p in points)
+
+
+def test_wire_delay_sensitivity(benchmark, config: ExperimentConfig, report_dir):
+    cfg = config.scaled(max(1200, config.measure // 4))
+    points = benchmark.pedantic(
+        sensitivity.wire_delay_sweep, args=(cfg,), rounds=1, iterations=1
+    )
+    emit(report_dir, "sensitivity_wire",
+         sensitivity.render(points, "Sensitivity: wire delay scaling"))
+    ratios = [p.halo_ratio for p in points]
+    assert all(r > 1.0 for r in ratios)
+    # Worse wires make the short-path halo matter more (the paper's bet).
+    assert ratios[-1] >= ratios[0]

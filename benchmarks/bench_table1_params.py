@@ -1,0 +1,14 @@
+"""Table 1: system-parameter echo plus RC-model wire-delay cross-check."""
+
+from conftest import emit
+
+from repro.experiments import table1_params
+
+
+def test_table1_parameters(benchmark, report_dir):
+    params = benchmark.pedantic(table1_params.run, rounds=3, iterations=1)
+    emit(report_dir, "table1_params", table1_params.render(params))
+    for bank in params["banks"]:
+        assert bank["model_wire_delay"] == bank["table1_wire_delay"]
+    assert params["memory_latency"] == 162
+    assert params["data_packet_flits"] == 5

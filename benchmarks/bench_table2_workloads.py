@@ -1,0 +1,21 @@
+"""Table 2: benchmark statistics and synthetic-trace fidelity."""
+
+from conftest import emit
+
+from repro.experiments import table2_workloads
+from repro.experiments.common import ExperimentConfig
+
+
+def test_table2_workloads(benchmark, config: ExperimentConfig, report_dir):
+    rows = benchmark.pedantic(
+        table2_workloads.run, args=(config,), rounds=1, iterations=1
+    )
+    emit(report_dir, "table2_workloads", table2_workloads.render(rows))
+    assert len(rows) == 12
+    for row in rows:
+        # Generated traces must track the paper's measured rates.
+        assert abs(row["trace_write_frac"]
+                   - row["writes_M"] / (row["reads_M"] + row["writes_M"])) < 0.05
+        assert row["trace_access_per_instr"] == __import__("pytest").approx(
+            row["access_per_instr"], rel=0.15
+        )

@@ -1,0 +1,16 @@
+"""Table 3: design list echo and structural invariants."""
+
+from conftest import emit
+
+from repro.experiments import table3_designs
+
+
+def test_table3_designs(benchmark, report_dir):
+    rows = benchmark.pedantic(table3_designs.run, rounds=1, iterations=1)
+    emit(report_dir, "table3_designs", table3_designs.render(rows))
+    assert [r["design"] for r in rows] == list("ABCDEF")
+    for row in rows:
+        assert row["capacity_mb"] == 16.0
+        assert row["associativity"] == 16
+    assert rows[4]["halo"] and rows[5]["halo"]
+    assert rows[1]["simplified"] and rows[2]["simplified"] and rows[3]["simplified"]

@@ -1,0 +1,26 @@
+"""Table 4: area analysis of the network designs."""
+
+from conftest import emit
+
+from repro.experiments import table4_area
+
+
+def test_table4_area(benchmark, report_dir):
+    areas = benchmark.pedantic(table4_area.run, rounds=1, iterations=1)
+    emit(report_dir, "table4_area", table4_area.render(areas))
+    # Design A: the network (routers + links) claims about half the cache
+    # area (paper: 52%).
+    assert 0.40 <= areas["A"].network_fraction <= 0.60
+    # Paper-close checkpoints.
+    for key, (bank_pct, router_pct, link_pct, l2, chip) in (
+        ("A", table4_area.PAPER_TABLE4["A"],),
+        ("E", table4_area.PAPER_TABLE4["E"],),
+    ):
+        area = areas[key]
+        assert abs(area.l2_mm2 - l2) / l2 < 0.12
+        assert abs(100 * area.router_fraction - router_pct) < 4
+    # E wastes most of its die; F does not (paper: 402/1602 vs 312/518).
+    assert areas["E"].chip_mm2 > 3 * areas["E"].l2_mm2
+    assert areas["F"].chip_mm2 < 2 * areas["F"].l2_mm2
+    # The headline interconnect-area ratio (paper ~23%).
+    assert table4_area.interconnect_ratio(areas) < 0.35

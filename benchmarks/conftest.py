@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+``REPRO_BENCH_MEASURE`` scales the measured accesses per (benchmark,
+design, scheme) cell; the default of 6000 keeps the full harness under a
+few minutes while preserving every qualitative shape. Rendered tables are
+written to ``benchmarks/out/`` so they survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    measure = int(os.environ.get("REPRO_BENCH_MEASURE", "6000"))
+    return ExperimentConfig(measure=measure)
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def emit(report_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/out/."""
+    print(text)
+    (report_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

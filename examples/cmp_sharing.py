@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""CMP extension: several cores sharing the networked L2 (future work).
+
+Runs a multiprogrammed mix (one Table-2 benchmark per core) against the
+mesh (Design A) and the halo (Design F) at 1, 2, and 4 cores, and reports
+throughput, shared-cache latency, and fairness. The halo's hub + spike
+queues absorb the multi-core traffic that congests the mesh's top row.
+"""
+
+from repro.experiments import cmp_scaling
+
+
+def main() -> None:
+    points = cmp_scaling.run(measure=2000)
+    print(cmp_scaling.render(points))
+    print()
+    by_key = {(p.design, p.num_cores): p for p in points}
+    for cores in (1, 2, 4):
+        a = by_key[("A", cores)]
+        f = by_key[("F", cores)]
+        print(
+            f"{cores} core(s): halo throughput x{f.aggregate_ipc / a.aggregate_ipc:.2f}, "
+            f"latency {f.average_latency / a.average_latency:.0%} of mesh"
+        )
+
+
+if __name__ == "__main__":
+    main()

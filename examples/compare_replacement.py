@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Compare the five replacement schemes on one benchmark (mini Fig. 8).
+
+Runs {unicast, multicast} x {Promotion, LRU, Fast-LRU} on Design A for a
+single benchmark (default: mcf, the most capacity-pressured) and prints
+the latency/IPC comparison, showing Fast-LRU's overlap advantage and the
+multicast router's parallel tag match.
+
+Usage: python examples/compare_replacement.py [benchmark]
+"""
+
+import sys
+
+from repro import FIGURE8_SCHEMES, NetworkedCacheSystem, profile_by_name
+from repro.workloads import TraceGenerator
+
+
+def main(benchmark: str = "mcf") -> None:
+    profile = profile_by_name(benchmark)
+    trace, warmup = TraceGenerator(profile, seed=7).generate_with_warmup(
+        measure=4000
+    )
+
+    print(f"benchmark: {benchmark}  (trace: {len(trace)} accesses, "
+          f"{warmup} warm-up)")
+    header = (f"{'scheme':<22} {'avg lat':>8} {'hit lat':>8} {'miss lat':>9} "
+              f"{'hit rate':>9} {'IPC':>7}")
+    print(header)
+    print("-" * len(header))
+    baseline = None
+    for scheme in FIGURE8_SCHEMES:
+        system = NetworkedCacheSystem(design="A", scheme=scheme)
+        result = system.run(trace, profile, warmup=warmup)
+        if baseline is None:
+            baseline = result.average_latency
+        print(
+            f"{scheme:<22} {result.average_latency:8.1f} "
+            f"{result.average_hit_latency:8.1f} "
+            f"{result.average_miss_latency:9.1f} "
+            f"{result.hit_rate:9.1%} {result.ipc:7.3f}"
+            f"   ({result.average_latency / baseline - 1:+.0%} vs first)"
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "mcf")

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Design-space exploration: performance AND area of Designs A-F.
+
+Mini Fig. 9 + Table 4: runs every Table-3 design under Multicast Fast-LRU
+on a few benchmarks and joins the normalized IPC with the floorplan areas,
+reproducing the paper's punchline -- the halo with non-uniform banks
+(Design F) wins on performance while using a fraction of the mesh's
+interconnect area.
+
+Usage: python examples/design_space.py [benchmark ...]
+"""
+
+import sys
+
+from repro import DESIGN_NAMES, NetworkedCacheSystem, design_spec, profile_by_name
+from repro.area import FloorPlanner
+from repro.experiments.common import geometric_mean
+from repro.workloads import TraceGenerator
+
+
+def main(benchmarks: list[str]) -> None:
+    planner = FloorPlanner()
+    traces = {}
+    for name in benchmarks:
+        profile = profile_by_name(name)
+        traces[name] = (profile,) + TraceGenerator(profile, seed=3).generate_with_warmup(
+            measure=3000
+        )
+
+    print(f"benchmarks: {', '.join(benchmarks)}  (scheme: multicast+fast_lru)")
+    header = (f"{'design':<40} {'norm IPC':>9} {'L2 mm2':>8} "
+              f"{'net mm2':>8} {'net %':>6}")
+    print(header)
+    print("-" * len(header))
+    base_ipc = None
+    for key in DESIGN_NAMES:
+        spec = design_spec(key)
+        ipcs = []
+        for name in benchmarks:
+            profile, trace, warmup = traces[name]
+            system = NetworkedCacheSystem(design=key, scheme="multicast+fast_lru")
+            ipcs.append(system.run(trace, profile, warmup=warmup).ipc)
+        ipc = geometric_mean(ipcs)
+        if base_ipc is None:
+            base_ipc = ipc
+        area = planner.design_area(spec)
+        network_mm2 = area.router_mm2 + area.link_mm2
+        print(
+            f"{key}: {spec.label:<37} {ipc / base_ipc:9.2f} "
+            f"{area.l2_mm2:8.1f} {network_mm2:8.1f} "
+            f"{area.network_fraction:6.0%}"
+        )
+
+
+if __name__ == "__main__":
+    names = sys.argv[1:] or ["art", "twolf", "mcf"]
+    main(names)

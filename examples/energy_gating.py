@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Energy analysis and on-demand power gating (future work, Section 7).
+
+Meters a run of each scheme/design pair, splits the energy into bank /
+network / memory / leakage, and sweeps the gating policy's idle threshold
+to expose the leakage-vs-wake-latency trade-off the paper anticipates.
+The multicast caveat shows up directly: delivering the request to every
+bank of the set keeps banks warm, so multicast leaves far less leakage
+for the gating policy to harvest than a sequential search.
+"""
+
+from repro.core.system import NetworkedCacheSystem
+from repro.power import EnergyMeter, GatingPolicy, simulate_gating
+from repro.workloads import TraceGenerator, profile_by_name
+
+
+def main() -> None:
+    profile = profile_by_name("twolf")
+    trace, warmup = TraceGenerator(profile, seed=2).generate_with_warmup(
+        measure=3000
+    )
+    meter = EnergyMeter()
+
+    print("Energy per access by configuration")
+    runs = {}
+    for design, scheme in (
+        ("A", "unicast+fast_lru"),
+        ("A", "multicast+fast_lru"),
+        ("F", "multicast+fast_lru"),
+    ):
+        system = NetworkedCacheSystem(design=design, scheme=scheme)
+        result = system.run(trace, profile, warmup=warmup)
+        report = meter.measure(system, result)
+        runs[(design, scheme)] = (system, result)
+        fractions = report.fractions()
+        print(
+            f"  {design}/{scheme:20s} {report.pj_per_access:8.0f} pJ/access  "
+            f"bank {fractions['bank']:.0%}, network "
+            f"{fractions['router'] + fractions['link']:.0%}, "
+            f"memory {fractions['memory']:.0%}, leakage {fractions['leakage']:.0%}"
+        )
+
+    print("\nGating threshold sweep (Design A, multicast fast-LRU)")
+    system, result = runs[("A", "multicast+fast_lru")]
+    for threshold in (200, 1000, 5000, 20000):
+        gating = simulate_gating(
+            system, result, GatingPolicy(idle_threshold=threshold)
+        )
+        print(
+            f"  idle>{threshold:>6}: {gating.gated_fraction:5.0%} gated, "
+            f"net {gating.net_saving_pj / 1e6:+7.2f} uJ, "
+            f"+{gating.average_latency_penalty:5.2f} cyc/access"
+        )
+
+    print("\nMulticast vs unicast gating opportunity")
+    for key in (("A", "unicast+fast_lru"), ("A", "multicast+fast_lru")):
+        system, result = runs[key]
+        gating = simulate_gating(system, result)
+        print(f"  {key[1]:20s} gated fraction {gating.gated_fraction:.0%}")
+
+
+if __name__ == "__main__":
+    main()

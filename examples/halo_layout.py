@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Compute and render the halo floorplans (Fig. 10).
+
+Prints the spike geometry of Design F (non-uniform banks growing along
+each spike), compares the die utilization of Designs E and F, and draws a
+coarse ASCII picture of one spike.
+"""
+
+from repro.area.floorplan import FloorPlanner, halo_layout
+from repro.core.designs import design_e, design_f
+from repro.experiments import fig10_layout
+
+
+def main() -> None:
+    results = fig10_layout.run()
+    print(fig10_layout.render(results))
+    print()
+
+    planner = FloorPlanner()
+    for spec in (design_e, design_f):
+        layout = halo_layout(spec, planner)
+        area = planner.design_area(spec)
+        used = area.l2_mm2 + planner.core_side_mm**2
+        print(
+            f"Design {spec.key}: die {layout['die_side_mm']:.1f} mm square "
+            f"({area.chip_mm2:.0f} mm2), L2+core {used:.0f} mm2, "
+            f"utilization {used / area.chip_mm2:.0%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

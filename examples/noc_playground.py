@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Drive the flit-level multicast router on a small mesh (Section 3.1).
+
+Injects a chain-multicast read request down one column of a 4x4 mesh --
+exactly what the cache controller does for a bank-set tag match -- and
+prints per-destination delivery times, the replication count, and a
+contrast against sending four separate unicast requests. Also verifies
+the deadlock-freedom of XY and XYX routing via their channel dependency
+graphs.
+"""
+
+from repro.noc import (
+    MeshTopology,
+    MessageType,
+    Network,
+    Packet,
+    SimplifiedMeshTopology,
+    XYRouting,
+    XYXRouting,
+)
+from repro.noc.routing import is_deadlock_free
+
+
+def multicast_demo() -> None:
+    mesh = MeshTopology(4, 4)
+    network = Network(mesh)
+    column = 1
+    destinations = tuple((column, y) for y in range(4))
+    request = Packet(
+        MessageType.READ_REQUEST, source=(2, 0), destinations=destinations
+    )
+    network.inject(request)
+    cycles = network.run_until_drained()
+    print(f"multicast request to column {column} (4 banks):")
+    for delivery in sorted(network.stats.deliveries, key=lambda d: d.destination):
+        print(
+            f"  bank {delivery.destination}: delivered at cycle "
+            f"{delivery.delivered_at} ({delivery.hops} hops)"
+        )
+    print(
+        f"  drained in {cycles} cycles with "
+        f"{network.total_replications()} flit replications "
+        f"({network.total_replication_blocked()} blocked cycles)"
+    )
+
+    unicast = Network(mesh)
+    for destination in destinations:
+        unicast.inject(
+            Packet(MessageType.READ_REQUEST, source=(2, 0), destinations=(destination,))
+        )
+    print(f"  4x unicast drains in {unicast.run_until_drained()} cycles")
+
+
+def deadlock_demo() -> None:
+    mesh = MeshTopology(4, 4)
+    print(f"XY on full mesh deadlock-free: "
+          f"{is_deadlock_free(mesh, XYRouting())}")
+    simplified = SimplifiedMeshTopology(4, 4)
+    core = simplified.core_attach
+    pairs = [(core, node) for node in simplified.nodes if node != core]
+    pairs += [(node, core) for node in simplified.nodes if node != core]
+    print(f"XYX on simplified mesh deadlock-free (cache traffic): "
+          f"{is_deadlock_free(simplified, XYXRouting(), pairs)}")
+
+
+def main() -> None:
+    multicast_demo()
+    print()
+    deadlock_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Area and wire-delay models behind Tables 1 and 4 (65 nm).
+
+* :mod:`repro.area.wire` -- first-order RC wire delay under optimal
+  repeater insertion; reproduces Table 1's per-bank-size wire delays;
+* :mod:`repro.area.cacti` -- Cacti-3.0-style bank area/latency model
+  calibrated to the paper's bank areas and Table-1 access latencies;
+* :mod:`repro.area.router_area` -- flit-buffer + crossbar router area
+  (Gold's analytic model, calibrated to the paper's 5-port router and its
+  48 %-area 3-port simplification);
+* :mod:`repro.area.floorplan` -- tile pitch, link area, per-design L2 and
+  chip area (Table 4), and the halo layout of Fig. 10.
+"""
+
+from repro.area.cacti import BankAreaModel
+from repro.area.floorplan import DesignArea, FloorPlanner, halo_layout
+from repro.area.router_area import RouterAreaModel
+from repro.area.wire import WireModel
+
+__all__ = [
+    "WireModel",
+    "BankAreaModel",
+    "RouterAreaModel",
+    "FloorPlanner",
+    "DesignArea",
+    "halo_layout",
+]

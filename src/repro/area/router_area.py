@@ -1,0 +1,76 @@
+"""Router area: flit buffers + crossbar (Section 6.3, after Gold [11]).
+
+The two analytically driven components are
+
+* the crossbar, growing with ``input ports x output ports x flit width``;
+* the input flit buffers, growing with ``ports x VCs x depth x flit width``.
+
+The per-bit constants are calibrated so that the paper's two data points
+hold: the full 5-port router of Design A occupies ~0.461 mm^2 (20.8 % of
+567.7 mm^2 over 256 routers), and the 3-port simplified router is 48 % of
+it (Design B's router area: 240 simplified + 16 full routers = 60.5 mm^2
+vs. the paper's 60.4). Designs E/F use 3-port spike routers, matching
+Table 4's 56.7 / 17.8 mm^2 exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import FLIT_BUFFER_DEPTH, FLIT_SIZE_BITS, VCS_PER_PC
+from repro.errors import ConfigurationError
+
+#: mm^2 per crosspoint-bit of crossbar (wiring dominated).
+CROSSBAR_MM2_PER_BIT = 0.009213 / FLIT_SIZE_BITS
+#: mm^2 per buffered bit (SRAM cell + control overhead).
+BUFFER_MM2_PER_BIT = 0.04619 / (VCS_PER_PC * FLIT_BUFFER_DEPTH * FLIT_SIZE_BITS)
+
+
+@dataclass(frozen=True)
+class RouterAreaModel:
+    """Analytic router area at 65 nm."""
+
+    flit_size_bits: int = FLIT_SIZE_BITS
+    num_vcs: int = VCS_PER_PC
+    buffer_depth: int = FLIT_BUFFER_DEPTH
+    crossbar_mm2_per_bit: float = CROSSBAR_MM2_PER_BIT
+    buffer_mm2_per_bit: float = BUFFER_MM2_PER_BIT
+
+    def __post_init__(self) -> None:
+        if self.flit_size_bits <= 0 or self.num_vcs <= 0 or self.buffer_depth <= 0:
+            raise ConfigurationError("router parameters must be positive")
+
+    def crossbar_area(self, in_ports: int, out_ports: int | None = None) -> float:
+        """Crossbar area for an ``in x out`` switch."""
+        if out_ports is None:
+            out_ports = in_ports
+        if in_ports <= 0 or out_ports <= 0:
+            raise ConfigurationError("port counts must be positive")
+        return self.crossbar_mm2_per_bit * in_ports * out_ports * self.flit_size_bits
+
+    def buffer_area(self, in_ports: int) -> float:
+        """Input buffer area: every PC holds VCs x depth flits."""
+        if in_ports <= 0:
+            raise ConfigurationError("port counts must be positive")
+        bits = in_ports * self.num_vcs * self.buffer_depth * self.flit_size_bits
+        return self.buffer_mm2_per_bit * bits
+
+    def router_area(self, ports: int) -> float:
+        """Total area of a symmetric *ports*-port router."""
+        return self.crossbar_area(ports) + self.buffer_area(ports)
+
+    @property
+    def full_router_area(self) -> float:
+        """The 5-port mesh router (4 neighbors + inject/eject)."""
+        return self.router_area(5)
+
+    @property
+    def simplified_router_area(self) -> float:
+        """The 3-port router left after removing horizontal links
+        (Section 4): up, down, and local ports only."""
+        return self.router_area(3)
+
+    @property
+    def simplification_ratio(self) -> float:
+        """3-port vs. 5-port area (the paper quotes 48 %)."""
+        return self.simplified_router_area / self.full_router_area

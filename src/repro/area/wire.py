@@ -1,0 +1,71 @@
+"""First-order RC wire delay with optimal repeater insertion (Section 5).
+
+The paper takes the global-wire latency from the first-order RC model of
+Otten & Brayton under optimal repeater insertion at 65 nm, with unit-length
+R and C from the ITRS roadmap, and quantizes it to 5 GHz core cycles.
+
+With optimal repeaters the delay grows *linearly* in length:
+
+    t(L) = k * sqrt(tau_0 * r * c) * L
+
+where ``r``/``c`` are per-mm wire resistance/capacitance, ``tau_0`` the
+repeater's intrinsic RC, and ``k`` the Bakoglu constant. The defaults are
+calibrated so a 64/128/256/512 KB bank tile costs exactly the 1/2/2/3
+cycles of Table 1 (about 160 ps/mm), which the test suite pins down.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Core clock of the evaluation platform (Section 5).
+CORE_FREQUENCY_GHZ = 5.0
+
+
+@dataclass(frozen=True)
+class WireModel:
+    """Repeated global wire at 65 nm."""
+
+    #: Wire resistance per mm (ohms).
+    r_per_mm: float = 330.0
+    #: Wire capacitance per mm (farads).
+    c_per_mm: float = 0.4e-12
+    #: Intrinsic repeater RC (seconds).
+    repeater_tau: float = 31.0e-12
+    #: Bakoglu proportionality constant for optimally repeated wires.
+    k: float = 2.5
+    frequency_ghz: float = CORE_FREQUENCY_GHZ
+
+    def __post_init__(self) -> None:
+        if min(self.r_per_mm, self.c_per_mm, self.repeater_tau, self.k) <= 0:
+            raise ConfigurationError("wire parameters must be positive")
+        if self.frequency_ghz <= 0:
+            raise ConfigurationError("frequency must be positive")
+
+    @property
+    def delay_per_mm_ps(self) -> float:
+        """Optimally repeated delay per mm, in picoseconds."""
+        rc_per_mm2 = self.r_per_mm * self.c_per_mm  # seconds per mm^2
+        return self.k * math.sqrt(self.repeater_tau * rc_per_mm2) * 1e12
+
+    def delay_ps(self, length_mm: float) -> float:
+        """Wire delay of a repeated wire of *length_mm*, in ps."""
+        if length_mm < 0:
+            raise ConfigurationError("length must be non-negative")
+        return self.delay_per_mm_ps * length_mm
+
+    def cycles(self, length_mm: float) -> int:
+        """Delay quantized up to whole core cycles (min 1 for any wire)."""
+        if length_mm == 0:
+            return 0
+        period_ps = 1000.0 / self.frequency_ghz
+        return max(1, math.ceil(self.delay_ps(length_mm) / period_ps))
+
+    def unrepeated_delay_ps(self, length_mm: float) -> float:
+        """Quadratic (0.38 R C L^2) delay without repeaters, for contrast."""
+        if length_mm < 0:
+            raise ConfigurationError("length must be non-negative")
+        return 0.38 * self.r_per_mm * self.c_per_mm * (length_mm ** 2) * 1e12

@@ -1,0 +1,38 @@
+"""Large-scale banked L2 cache substrate (D-NUCA style, Section 3.2).
+
+The cache is broken into banks reachable over the on-chip network. A
+*bank set* is one set of the set-associative cache distributed across the
+banks of one column (mesh) or one spike (halo); the low-order bank-column
+address bits select the column, the index selects the set within each bank,
+and a tag match over the distributed ways finds the block.
+"""
+
+from repro.cache.address import Address, AddressMapper
+from repro.cache.bank import BankDescriptor, bank_descriptors_for_column
+from repro.cache.bankset import AccessOutcome, BankSetState, BlockState
+from repro.cache.replacement import (
+    FastLRUPolicy,
+    LRUPolicy,
+    PromotionPolicy,
+    ReplacementPolicy,
+    policy_by_name,
+)
+from repro.cache.memory import MemoryModel
+from repro.cache.array import CacheArray
+
+__all__ = [
+    "Address",
+    "AddressMapper",
+    "BankDescriptor",
+    "bank_descriptors_for_column",
+    "BankSetState",
+    "BlockState",
+    "AccessOutcome",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "PromotionPolicy",
+    "FastLRUPolicy",
+    "policy_by_name",
+    "MemoryModel",
+    "CacheArray",
+]

@@ -1,0 +1,71 @@
+"""The full L2 contents: every bank set of every column.
+
+Bank sets are materialized lazily (a 16 MB cache has 16K sets, most of
+which small traces never touch). All sets in a column share the same
+``bank_of_way`` mapping derived from the column's bank descriptors.
+"""
+
+from __future__ import annotations
+
+from repro.cache.address import Address, AddressMapper
+from repro.cache.bank import BankDescriptor, bank_of_way
+from repro.cache.bankset import AccessOutcome, BankSetState, BankSetStats
+from repro.cache.replacement import ReplacementPolicy
+from repro.errors import ConfigurationError
+
+
+class CacheArray:
+    """Contents simulation for the whole banked L2."""
+
+    def __init__(
+        self,
+        columns: list[list[BankDescriptor]],
+        policy: ReplacementPolicy,
+        mapper: AddressMapper | None = None,
+    ) -> None:
+        if not columns:
+            raise ConfigurationError("cache needs at least one column")
+        self.columns = columns
+        self.policy = policy
+        self.mapper = mapper or AddressMapper()
+        if len(columns) != self.mapper.num_columns:
+            raise ConfigurationError(
+                f"{len(columns)} columns but the address layout selects "
+                f"{self.mapper.num_columns}"
+            )
+        self._bank_of_way = [bank_of_way(descriptors) for descriptors in columns]
+        self._sets: dict[tuple[int, int], BankSetState] = {}
+        self.stats = BankSetStats()
+
+    def associativity(self, column: int) -> int:
+        return len(self._bank_of_way[column])
+
+    def set_state(self, column: int, index: int) -> BankSetState:
+        """The (lazily created) bank set at (column, index)."""
+        key = (column, index)
+        state = self._sets.get(key)
+        if state is None:
+            state = BankSetState(self._bank_of_way[column])
+            self._sets[key] = state
+        return state
+
+    def access(self, address: Address, is_write: bool = False) -> AccessOutcome:
+        """Apply one access to the contents and record statistics."""
+        state = self.set_state(address.column, address.index)
+        outcome = self.policy.access(state, address.tag, is_write)
+        self.stats.record(outcome)
+        return outcome
+
+    def access_raw(self, raw_address: int, is_write: bool = False) -> AccessOutcome:
+        return self.access(self.mapper.decode(raw_address), is_write)
+
+    @property
+    def touched_sets(self) -> int:
+        return len(self._sets)
+
+    def occupancy(self) -> int:
+        """Number of resident blocks across all materialized sets."""
+        return sum(
+            sum(1 for block in state.ways if block is not None)
+            for state in self._sets.values()
+        )

@@ -1,0 +1,202 @@
+"""Logical contents of one distributed bank set.
+
+A bank set is an ordered stack of ``associativity`` ways; way 0 lives in
+the MRU (closest) bank and the last way in the LRU (farthest) bank
+(Section 3.2). The *timing* of replacement differs radically between LRU,
+Fast-LRU, and Promotion, but the *contents* evolve by two primitive
+reorderings, implemented here:
+
+* ``move_to_front`` -- LRU/Fast-LRU hit: the hit block becomes way 0 and
+  everything above it shifts one way down (toward the LRU bank);
+* ``swap`` -- Promotion hit: the hit block trades places with the
+  least-recent way of the next-closer bank;
+* ``fill_front`` -- miss fill: the new block enters way 0, everything
+  shifts down, and the LRU way's block is evicted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BlockState:
+    """One resident cache block."""
+
+    tag: int
+    dirty: bool = False
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """What the content model decided for one access.
+
+    ``way``/``bank`` describe where the tag matched (pre-reordering).
+    ``moved_boundaries`` counts inter-bank block transfers implied by the
+    reordering -- the block movements the network must carry.
+    ``victim`` is the evicted block on a fill (``None`` when the LRU way
+    was empty), with its dirty bit deciding the write-back.
+    """
+
+    hit: bool
+    way: int | None = None
+    bank: int | None = None
+    moved_boundaries: int = 0
+    victim: BlockState | None = None
+    #: Bank position the victim departs from (None = the LRU bank).
+    victim_bank: int | None = None
+
+    @property
+    def writeback_required(self) -> bool:
+        return self.victim is not None and self.victim.dirty
+
+
+class BankSetState:
+    """Mutable stack of ways of one bank set."""
+
+    __slots__ = ("ways", "bank_of_way")
+
+    def __init__(self, bank_of_way: list[int]) -> None:
+        if not bank_of_way:
+            raise ValueError("bank_of_way must not be empty")
+        self.bank_of_way = bank_of_way
+        self.ways: list[BlockState | None] = [None] * len(bank_of_way)
+
+    @property
+    def associativity(self) -> int:
+        return len(self.ways)
+
+    def find(self, tag: int) -> int | None:
+        """Way index holding *tag*, or None."""
+        for way, block in enumerate(self.ways):
+            if block is not None and block.tag == tag:
+                return way
+        return None
+
+    def resident_tags(self) -> list[int]:
+        return [block.tag for block in self.ways if block is not None]
+
+    def bank_of(self, way: int) -> int:
+        return self.bank_of_way[way]
+
+    # -- primitive reorderings -------------------------------------------
+
+    def move_to_front(self, way: int) -> int:
+        """LRU/Fast-LRU hit reordering; returns inter-bank moves implied.
+
+        The hit block becomes way 0; ways ``0..way-1`` shift one position
+        down the stack. A shift whose source and destination ways live in
+        different banks is a network block transfer; in-bank reshuffles are
+        free pointer updates.
+        """
+        block = self.ways[way]
+        if block is None:
+            raise ValueError(f"way {way} is empty")
+        boundary_moves = 0
+        if self.bank_of_way[way] != self.bank_of_way[0]:
+            boundary_moves += 1  # the hit block itself crosses banks
+        for i in range(way - 1, -1, -1):
+            if self.bank_of_way[i] != self.bank_of_way[i + 1]:
+                boundary_moves += 1
+            self.ways[i + 1] = self.ways[i]
+        self.ways[0] = block
+        return boundary_moves
+
+    def promote(self, way: int) -> int:
+        """Promotion hit reordering; returns inter-bank moves implied.
+
+        Inside the MRU bank the block just becomes that bank's most recent
+        way (free). Otherwise the hit block swaps with the least-recent way
+        of the next-closer bank (two block transfers over one link).
+        """
+        block = self.ways[way]
+        if block is None:
+            raise ValueError(f"way {way} is empty")
+        bank = self.bank_of_way[way]
+        if bank == self.bank_of_way[0]:
+            # Local promotion inside the MRU bank: reorder ways 0..way.
+            for i in range(way - 1, -1, -1):
+                self.ways[i + 1] = self.ways[i]
+            self.ways[0] = block
+            return 0
+        # Least-recent way of the next-closer bank.
+        target = max(i for i, b in enumerate(self.bank_of_way) if b == bank - 1)
+        self.ways[way], self.ways[target] = self.ways[target], self.ways[way]
+        return 2
+
+    def fill_front(self, tag: int, dirty: bool = False) -> tuple[BlockState | None, int]:
+        """Miss fill: insert at way 0, shift everything down, evict the LRU.
+
+        Returns ``(victim, boundary_moves)``. Used by LRU, Fast-LRU, and
+        Promotion alike (Promotion's recursive replacement, footnote 4).
+        """
+        victim = self.ways[-1]
+        boundary_moves = 0
+        for i in range(len(self.ways) - 2, -1, -1):
+            if self.ways[i] is not None and self.bank_of_way[i] != self.bank_of_way[i + 1]:
+                boundary_moves += 1
+            self.ways[i + 1] = self.ways[i]
+        self.ways[0] = BlockState(tag=tag, dirty=dirty)
+        return victim, boundary_moves
+
+    def fill_replace_front(self, tag: int, dirty: bool = False) -> BlockState | None:
+        """Zero-copy fill (footnote 4): the incoming block overwrites the
+        MRU way outright; its previous occupant is evicted to memory."""
+        victim = self.ways[0]
+        self.ways[0] = BlockState(tag=tag, dirty=dirty)
+        return victim
+
+    def fill_demote_one(self, tag: int, dirty: bool = False) -> tuple[BlockState | None, int]:
+        """One-copy fill (footnote 4): the incoming block takes the MRU
+        way; the displaced block demotes one way, evicting *that* way's
+        occupant. Returns (victim, boundary_moves)."""
+        if len(self.ways) == 1:
+            return self.fill_replace_front(tag, dirty), 0
+        victim = self.ways[1]
+        moves = 1 if self.bank_of_way[0] != self.bank_of_way[1] else 0
+        self.ways[1] = self.ways[0]
+        self.ways[0] = BlockState(tag=tag, dirty=dirty)
+        return victim, moves
+
+    def mark_dirty(self, way: int) -> None:
+        block = self.ways[way]
+        if block is None:
+            raise ValueError(f"way {way} is empty")
+        block.dirty = True
+
+
+@dataclass
+class BankSetStats:
+    """Aggregated content statistics across a run."""
+
+    hits: int = 0
+    misses: int = 0
+    hits_per_bank: dict[int, int] = field(default_factory=dict)
+    writebacks: int = 0
+    boundary_moves: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def record(self, outcome: AccessOutcome) -> None:
+        if outcome.hit:
+            self.hits += 1
+            self.hits_per_bank[outcome.bank] = (
+                self.hits_per_bank.get(outcome.bank, 0) + 1
+            )
+        else:
+            self.misses += 1
+            if outcome.writeback_required:
+                self.writebacks += 1
+        self.boundary_moves += outcome.moved_boundaries
+
+    def mru_hit_fraction(self) -> float:
+        """Fraction of hits landing in the MRU (closest) bank."""
+        if not self.hits:
+            return 0.0
+        return self.hits_per_bank.get(0, 0) / self.hits

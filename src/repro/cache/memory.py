@@ -1,0 +1,58 @@
+"""Off-chip memory timing model (Table 1).
+
+Pipelined: an access observes ``130 + 4 * ceil(bytes/8)`` cycles of latency
+(162 for a 64 B block), but the pipeline accepts a new transfer only every
+``4 * ceil(bytes/8)`` cycles, so back-to-back fills and write-backs queue
+on the memory channel.
+"""
+
+from __future__ import annotations
+
+from repro import config
+from repro.sim.resource import Resource
+
+
+class MemoryModel:
+    """A bandwidth-limited, fixed-latency memory behind one channel."""
+
+    def __init__(self, block_size: int = config.BLOCK_SIZE_BYTES) -> None:
+        self.block_size = block_size
+        self.channel = Resource(name="memory-channel")
+        self.reads = 0
+        self.writebacks = 0
+
+    @property
+    def transfer_cycles(self) -> int:
+        """Pipeline occupancy of one block transfer."""
+        chunks = (self.block_size + 7) // 8
+        return config.MEMORY_CYCLES_PER_8B * chunks
+
+    @property
+    def access_latency(self) -> int:
+        """Start-to-data latency of one block access."""
+        return config.memory_access_latency(self.block_size)
+
+    def read(self, time: int) -> tuple[int, int]:
+        """Issue a block read at *time*.
+
+        Returns ``(start, data_ready)``: the cycle the channel accepted the
+        request and the cycle the block is available on-chip.
+        """
+        start = self.channel.acquire(time, self.transfer_cycles)
+        self.reads += 1
+        return start, start + self.access_latency
+
+    def writeback(self, time: int) -> tuple[int, int]:
+        """Issue a dirty-block write-back at *time*.
+
+        Returns ``(start, done)``; the writer only occupies the channel, it
+        does not wait for the full round-trip.
+        """
+        start = self.channel.acquire(time, self.transfer_cycles)
+        self.writebacks += 1
+        return start, start + self.transfer_cycles
+
+    def reset(self) -> None:
+        self.channel.reset()
+        self.reads = 0
+        self.writebacks = 0

@@ -1,0 +1,85 @@
+"""Partial-tag early miss detection (the D-NUCA technique the paper's
+introduction weighs against: it saves the full-column search on a miss at
+the price of extra storage in the cache controller).
+
+The controller keeps ``bits``-bit partial tags for every way of every
+bank set. A lookup with no partial match is a *guaranteed* miss (partial
+tags never produce false negatives) and can go straight to memory,
+skipping the column search entirely; a partial match may still be a full
+miss (false positive), in which case the normal search runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.bankset import BankSetState
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PartialTagConfig:
+    """Controller-side partial-tag store parameters."""
+
+    bits: int = 6
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 12:
+            raise ConfigurationError("partial tag bits must be in [1, 12]")
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.bits) - 1
+
+    def storage_bits(self, sets: int, associativity: int) -> int:
+        """Extra controller storage the technique costs."""
+        return sets * associativity * self.bits
+
+    def storage_kib(self, sets: int, associativity: int) -> float:
+        return self.storage_bits(sets, associativity) / 8 / 1024
+
+
+class PartialTagStore:
+    """Early-miss predictor backed by the true cache contents.
+
+    The simulator keeps the authoritative contents in
+    :class:`~repro.cache.bankset.BankSetState`; the store answers partial
+    matches against them, which models a controller mirror kept exactly
+    in sync (the paper's 'additional memory in the cache controller').
+    """
+
+    def __init__(self, config: PartialTagConfig | None = None) -> None:
+        self.config = config or PartialTagConfig()
+        self.lookups = 0
+        self.early_misses = 0
+        self.false_positives = 0
+
+    def is_guaranteed_miss(self, state: BankSetState, tag: int,
+                           actual_hit: bool) -> bool:
+        """True when no way's partial tag matches (a certain miss).
+
+        *actual_hit* is only used for false-positive accounting.
+        """
+        self.lookups += 1
+        mask = self.config.mask
+        wanted = tag & mask
+        match = any(
+            block is not None and (block.tag & mask) == wanted
+            for block in state.ways
+        )
+        if not match:
+            self.early_misses += 1
+            return True
+        if not actual_hit:
+            self.false_positives += 1
+        return False
+
+    @property
+    def early_miss_rate(self) -> float:
+        """Fraction of lookups short-circuited to memory."""
+        return self.early_misses / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        self.lookups = 0
+        self.early_misses = 0
+        self.false_positives = 0

@@ -1,0 +1,295 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run       simulate one (design, scheme, benchmark) cell and report
+figure    regenerate Figure 7, 8, or 9
+table     regenerate Table 1, 2, 3, or 4
+headline  the abstract-level combined claims
+layout    the Fig.-10 halo floorplan
+energy    energy report + on-demand gating for one cell
+report    regenerate every table and figure into one document
+cmp       multi-core shared-L2 scaling (future-work extension)
+snuca     S-NUCA vs D-NUCA baseline comparison
+trace     generate a synthetic trace file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.designs import DESIGN_NAMES
+from repro.core.flows import FIGURE8_SCHEMES
+from repro.experiments import (
+    fig10_layout,
+    figure7,
+    figure8,
+    figure9,
+    headline,
+    table1_params,
+    table2_workloads,
+    table3_designs,
+    table4_area,
+)
+from repro.experiments.common import BENCHMARK_NAMES, ExperimentConfig
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(measure=args.measure, seed=args.seed)
+
+
+def cmd_run(args: argparse.Namespace) -> str:
+    from repro.core.system import NetworkedCacheSystem
+    from repro.workloads import TraceGenerator, profile_by_name
+
+    profile = profile_by_name(args.benchmark)
+    trace, warmup = TraceGenerator(profile, seed=args.seed).generate_with_warmup(
+        measure=args.measure
+    )
+    system = NetworkedCacheSystem(
+        design=args.design,
+        scheme=args.scheme,
+        early_miss_detection=args.early_miss,
+    )
+    result = system.run(trace, profile, warmup=warmup)
+    shares = result.breakdown_fractions()
+    lines = [
+        f"design {result.design}, scheme {result.scheme}, "
+        f"benchmark {args.benchmark}",
+        f"accesses {result.accesses}, cycles {result.cycles}",
+        f"hit rate {result.hit_rate:.1%} "
+        f"(MRU {result.latency.mru_hit_fraction():.0%})",
+        f"latency avg {result.average_latency:.1f} "
+        f"(hit {result.average_hit_latency:.1f}, "
+        f"miss {result.average_miss_latency:.1f})",
+        f"split network {shares['network']:.0%} / bank {shares['bank']:.0%} "
+        f"/ memory {shares['memory']:.0%}",
+        f"IPC {result.ipc:.3f} ({result.ipc / profile.perfect_l2_ipc:.0%} of "
+        f"perfect {profile.perfect_l2_ipc})",
+    ]
+    if system.partial_tags is not None:
+        lines.append(
+            f"early misses {system.partial_tags.early_misses} "
+            f"({system.partial_tags.early_miss_rate:.0%} of lookups)"
+        )
+    return "\n".join(lines)
+
+
+def cmd_figure(args: argparse.Namespace) -> str:
+    config = _config(args)
+    if args.number == 7:
+        return figure7.render(figure7.run(config))
+    if args.number == 8:
+        return figure8.render(figure8.run(config))
+    if args.number == 9:
+        return figure9.render(figure9.run(config))
+    if args.number == 10:
+        return fig10_layout.render(fig10_layout.run())
+    raise SystemExit(f"no figure {args.number}; choose 7, 8, 9, or 10")
+
+
+def cmd_table(args: argparse.Namespace) -> str:
+    config = _config(args)
+    if args.number == 1:
+        return table1_params.render(table1_params.run())
+    if args.number == 2:
+        return table2_workloads.render(table2_workloads.run(config))
+    if args.number == 3:
+        return table3_designs.render(table3_designs.run())
+    if args.number == 4:
+        return table4_area.render(table4_area.run())
+    raise SystemExit(f"no table {args.number}; choose 1-4")
+
+
+def cmd_report(args: argparse.Namespace) -> str:
+    from repro.experiments import full_report
+
+    path = full_report.write(
+        args.out,
+        _config(args),
+        progress=lambda title: print(f"... {title}", flush=True),
+    )
+    return f"report written to {path}"
+
+
+def cmd_cmp(args: argparse.Namespace) -> str:
+    from repro.experiments import cmp_scaling
+
+    points = cmp_scaling.run(
+        designs=tuple(args.designs),
+        core_counts=tuple(args.cores),
+        measure=args.measure,
+        seed=args.seed,
+    )
+    return cmp_scaling.render(points)
+
+
+def cmd_snuca(args: argparse.Namespace) -> str:
+    from repro.core.static_system import StaticNUCASystem
+    from repro.core.system import NetworkedCacheSystem
+    from repro.workloads import TraceGenerator, profile_by_name
+
+    profile = profile_by_name(args.benchmark)
+    trace, warmup = TraceGenerator(profile, seed=args.seed).generate_with_warmup(
+        measure=args.measure
+    )
+    snuca = StaticNUCASystem(design=args.design).run(trace, profile, warmup=warmup)
+    dnuca = NetworkedCacheSystem(
+        design=args.design, scheme="multicast+fast_lru"
+    ).run(trace, profile, warmup=warmup)
+    return "\n".join(
+        [
+            f"benchmark {args.benchmark}, design {args.design}",
+            f"  S-NUCA  lat {snuca.average_latency:7.1f} "
+            f"(hit {snuca.average_hit_latency:.1f})  IPC {snuca.ipc:.3f}",
+            f"  D-NUCA  lat {dnuca.average_latency:7.1f} "
+            f"(hit {dnuca.average_hit_latency:.1f})  IPC {dnuca.ipc:.3f}",
+            f"  D-NUCA speedup x{dnuca.ipc / snuca.ipc:.2f}",
+        ]
+    )
+
+
+def cmd_trace(args: argparse.Namespace) -> str:
+    from repro.workloads import TraceGenerator, profile_by_name
+    from repro.workloads.traceio import save_trace
+
+    profile = profile_by_name(args.benchmark)
+    trace = TraceGenerator(profile, seed=args.seed).generate(args.measure)
+    save_trace(trace, args.output)
+    return (
+        f"wrote {len(trace)} accesses ({trace.write_count} writes, "
+        f"{trace.distinct_blocks()} distinct blocks) to {args.output}"
+    )
+
+
+def cmd_headline(args: argparse.Namespace) -> str:
+    return headline.render(headline.run(_config(args)))
+
+
+def cmd_layout(args: argparse.Namespace) -> str:
+    return fig10_layout.render(fig10_layout.run())
+
+
+def cmd_energy(args: argparse.Namespace) -> str:
+    from repro.core.system import NetworkedCacheSystem
+    from repro.power import EnergyMeter, GatingPolicy, simulate_gating
+    from repro.workloads import TraceGenerator, profile_by_name
+
+    profile = profile_by_name(args.benchmark)
+    trace, warmup = TraceGenerator(profile, seed=args.seed).generate_with_warmup(
+        measure=args.measure
+    )
+    system = NetworkedCacheSystem(design=args.design, scheme=args.scheme)
+    result = system.run(trace, profile, warmup=warmup)
+    report = EnergyMeter().measure(system, result)
+    gating = simulate_gating(
+        system, result, GatingPolicy(idle_threshold=args.gate_threshold)
+    )
+    fractions = report.fractions()
+    return "\n".join(
+        [
+            f"design {args.design}, scheme {args.scheme}, "
+            f"benchmark {args.benchmark}",
+            f"energy {report.pj_per_access:.0f} pJ/access "
+            f"({report.total_pj / 1e6:.2f} uJ total)",
+            f"  bank {fractions['bank']:.0%}, router {fractions['router']:.0%}, "
+            f"link {fractions['link']:.0%}, memory {fractions['memory']:.0%}, "
+            f"leakage {fractions['leakage']:.0%}",
+            f"gating @ idle>{args.gate_threshold}: "
+            f"{gating.gated_fraction:.0%} of bank area off, "
+            f"net {gating.net_saving_pj / 1e6:+.2f} uJ, "
+            f"+{gating.average_latency_penalty:.2f} cyc/access wake penalty",
+        ]
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Domain-Specific On-Chip Network Design for "
+            "Large Scale Cache Systems' (HPCA 2007)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--measure", type=int, default=3000,
+                       help="measured accesses per cell (default 3000)")
+        p.add_argument("--seed", type=int, default=1)
+
+    run = sub.add_parser("run", help="simulate one configuration")
+    run.add_argument("--design", choices=DESIGN_NAMES, default="A")
+    run.add_argument("--scheme", choices=FIGURE8_SCHEMES,
+                     default="multicast+fast_lru")
+    run.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="twolf")
+    run.add_argument("--early-miss", action="store_true",
+                     help="enable partial-tag early miss detection")
+    common(run)
+    run.set_defaults(handler=cmd_run)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int, choices=(7, 8, 9, 10))
+    common(figure)
+    figure.set_defaults(handler=cmd_figure)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int, choices=(1, 2, 3, 4))
+    common(table)
+    table.set_defaults(handler=cmd_table)
+
+    head = sub.add_parser("headline", help="abstract-level combined claims")
+    common(head)
+    head.set_defaults(handler=cmd_headline)
+
+    layout = sub.add_parser("layout", help="Fig.-10 halo floorplan")
+    common(layout)
+    layout.set_defaults(handler=cmd_layout)
+
+    energy = sub.add_parser("energy", help="energy + gating report")
+    energy.add_argument("--design", choices=DESIGN_NAMES, default="A")
+    energy.add_argument("--scheme", choices=FIGURE8_SCHEMES,
+                        default="multicast+fast_lru")
+    energy.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="twolf")
+    energy.add_argument("--gate-threshold", type=int, default=2000)
+    common(energy)
+    energy.set_defaults(handler=cmd_energy)
+
+    report = sub.add_parser("report",
+                            help="regenerate every artifact into one file")
+    report.add_argument("--out", default="results.txt")
+    common(report)
+    report.set_defaults(handler=cmd_report)
+
+    cmp_cmd = sub.add_parser("cmp", help="multi-core shared-L2 scaling")
+    cmp_cmd.add_argument("--designs", nargs="+", choices=DESIGN_NAMES,
+                         default=["A", "F"])
+    cmp_cmd.add_argument("--cores", nargs="+", type=int, default=[1, 2, 4])
+    common(cmp_cmd)
+    cmp_cmd.set_defaults(handler=cmd_cmp)
+
+    snuca = sub.add_parser("snuca", help="S-NUCA vs D-NUCA comparison")
+    snuca.add_argument("--design", choices=DESIGN_NAMES, default="A")
+    snuca.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="art")
+    common(snuca)
+    snuca.set_defaults(handler=cmd_snuca)
+
+    trace = sub.add_parser("trace", help="generate a synthetic trace file")
+    trace.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="twolf")
+    trace.add_argument("--output", required=True)
+    common(trace)
+    trace.set_defaults(handler=cmd_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    print(args.handler(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Chip-multiprocessor extension (the paper's first future-work item).
+
+Section 7: "We are planning to expand the study presented in this paper
+to include CMP environments by first analyzing the traffic patterns and
+finding suitable interconnects for those systems." This package provides
+that substrate: several cores share the networked L2 as one large shared
+NUCA (the organization of the CMP-NUCA studies the paper cites). On mesh
+designs the cores attach at evenly spaced top-row routers; on halos they
+share the hub (whose per-spike issue queues arbitrate among them).
+"""
+
+from repro.cmp.system import CMPCacheSystem, CMPResult, CoreResult, core_attach_points
+
+__all__ = ["CMPCacheSystem", "CMPResult", "CoreResult", "core_attach_points"]

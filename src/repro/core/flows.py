@@ -1,0 +1,593 @@
+"""Transaction flows of the networked cache (Figures 2 and 3).
+
+Each access is executed as a composition of resource reservations over the
+design's :class:`~repro.core.geometry.CacheGeometry`:
+
+* **unicast search** walks the column bank by bank (Fig. 2); with Fast-LRU
+  the evicted block rides along with the request as the wormhole body, so
+  the next bank's tag match is gated by the head flit while the block
+  follows (tag match overlaps replacement, Fig. 2(b));
+* **multicast search** delivers the request to all banks of the column via
+  the chain-replicating router and every bank tag-matches concurrently
+  (Fig. 3);
+* **replacement chains** move blocks between adjacent banks (LRU shifts,
+  Promotion swaps, Fast-LRU's pipelined eviction chain);
+* **miss handling** goes through the off-chip memory model, fills the MRU
+  bank, and cut-through-forwards the block to the core.
+
+Consistency rule: while an access's block movements are in flight, the bank
+set's tags are unstable, so a subsequent access to the *same set* stalls
+until the earlier one settles. This per-set serialization is precisely the
+cost of LRU's long chains that Fast-LRU overlaps away.
+
+The flows report a per-access :class:`AccessTiming` with the data-return
+latency decomposed into bank, network, and memory components exactly as
+Figure 7 plots them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.bankset import AccessOutcome
+from repro.cache.memory import MemoryModel
+from repro.cache.replacement import ReplacementPolicy
+from repro.config import packet_flits
+from repro.core.geometry import CacheGeometry
+from repro.errors import ProtocolError
+
+CONTROL = packet_flits(carries_block=False)
+DATA = packet_flits(carries_block=True)
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """One of the five evaluated scheme combinations."""
+
+    multicast: bool
+    policy: ReplacementPolicy
+
+    @property
+    def name(self) -> str:
+        prefix = "multicast" if self.multicast else "unicast"
+        return f"{prefix}+{self.policy.name}"
+
+    @property
+    def is_fast(self) -> bool:
+        return self.policy.overlaps_replacement
+
+
+@dataclass
+class AccessTiming:
+    """Timing of one access, with the Fig.-7 latency decomposition."""
+
+    issued: int
+    data_at_core: int
+    completion: int
+    hit: bool
+    bank_position: int | None
+    bank_cycles: int = 0
+    memory_cycles: int = 0
+    #: When the bank set's tags are stable again (all in-column block
+    #: movement finished). A subsequent access to the *same set* cannot
+    #: start earlier -- this is the serialization long LRU chains impose
+    #: and Fast-LRU largely removes.
+    settled: int = 0
+
+    @property
+    def latency(self) -> int:
+        """Cycles from issue until the data (or write ack) reaches the core."""
+        return self.data_at_core - self.issued
+
+    @property
+    def transaction_latency(self) -> int:
+        """Cycles until the whole cache transaction completes, including
+        replacement chains and the completion notification -- the latency
+        Figure 8 plots (Fig. 2 counts its 21 vs 12 hops this way)."""
+        return self.completion - self.issued
+
+    @property
+    def network_cycles(self) -> int:
+        """Transaction cycles not spent in banks or memory: wires,
+        routers, serialization, and queueing."""
+        return max(0, self.transaction_latency - self.bank_cycles - self.memory_cycles)
+
+    @property
+    def occupancy(self) -> int:
+        """Cycles until every induced movement (replacement, write-back,
+        notifications) finished."""
+        return self.completion - self.issued
+
+
+class TransactionEngine:
+    """Executes accesses against a geometry under one scheme."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        memory: MemoryModel,
+        scheme: Scheme,
+    ) -> None:
+        self.geometry = geometry
+        self.memory = memory
+        self.scheme = scheme
+        #: Per-column transaction slots: the cache controller admits one
+        #: transaction per bank-set column at a time on meshes, and two per
+        #: spike on halos (the paper's 2-entry spike issue queues). Each
+        #: entry is the time that slot's transaction settles.
+        slots = 2 if geometry.is_halo else 1
+        self._column_slots: list[list[int]] = [
+            [0] * slots for _ in range(geometry.num_columns)
+        ]
+        self._spine_bank_cycles = 0
+        #: Core node the current access belongs to (CMP support); None
+        #: means the geometry's default single core.
+        self._core = None
+
+    def reset(self) -> None:
+        """Forget per-column serialization state (fresh measurement window)."""
+        for slots in self._column_slots:
+            for i in range(len(slots)):
+                slots[i] = 0
+
+    # -- public entry -------------------------------------------------------
+
+    def execute(
+        self,
+        column: int,
+        outcome: AccessOutcome,
+        issue_time: int,
+        is_write: bool = False,
+        set_index: int | None = None,
+        core_node=None,
+    ) -> AccessTiming:
+        """Run the full protocol flow for one (already content-resolved)
+        access and return its timing.
+
+        *core_node* overrides the requesting core's attach point (CMP
+        runs; defaults to the geometry's single core).
+
+        The access first claims a transaction slot of its column: the
+        controller keeps the bank-set tags consistent by admitting at most
+        one in-flight transaction per column (two per halo spike), so a
+        transaction's full settle time -- exactly what Fast-LRU shortens --
+        gates the column's throughput.
+        """
+        self.geometry.floor_clock.advance(issue_time)
+        self._spine_bank_cycles = 0
+        self._core = core_node
+        slots = self._column_slots[column]
+        slot = min(range(len(slots)), key=slots.__getitem__)
+        start = max(issue_time, slots[slot])
+        t0 = self.geometry.enter_column(column, start)
+        if self.scheme.multicast:
+            timing = self._multicast_access(column, outcome, t0, is_write)
+        else:
+            timing = self._unicast_access(column, outcome, t0, is_write)
+        timing.issued = issue_time
+        timing.bank_cycles = self._spine_bank_cycles
+        if timing.settled < timing.data_at_core:
+            timing.settled = timing.data_at_core
+        slots[slot] = timing.settled
+        return timing
+
+    def execute_early_miss(
+        self,
+        column: int,
+        outcome,
+        issue_time: int,
+        is_write: bool = False,
+        core_node=None,
+    ) -> AccessTiming:
+        """Guaranteed-miss shortcut (partial-tag early miss detection).
+
+        The controller already knows the access misses, so the memory
+        request leaves the core immediately -- no column search. The fill
+        and the recursive demotion chain still run normally.
+        """
+        self.geometry.floor_clock.advance(issue_time)
+        self._spine_bank_cycles = 0
+        self._core = core_node
+        slots = self._column_slots[column]
+        slot = min(range(len(slots)), key=slots.__getitem__)
+        start = max(issue_time, slots[slot])
+        t0 = self.geometry.enter_column(column, start)
+        timing = self._finish_miss(
+            column,
+            outcome,
+            miss_decided=t0,
+            miss_source_pos=None,
+            bank_cycles=0,
+            is_write=is_write,
+            chain_already_ran=False,
+        )
+        timing.issued = issue_time
+        timing.bank_cycles = self._spine_bank_cycles
+        if timing.settled < timing.data_at_core:
+            timing.settled = timing.data_at_core
+        slots[slot] = timing.settled
+        return timing
+
+    # -- bank helpers ---------------------------------------------------------
+
+    def _bank_latency(self, column: int, position: int, replace: bool) -> int:
+        timing = self.geometry.bank(column, position).timing
+        return timing.tag_replace_latency if replace else timing.tag_latency
+
+    def _bank_acquire(
+        self, column: int, position: int, time: int, replace: bool,
+        charge: bool = True,
+    ) -> tuple[int, int]:
+        """Reserve the bank; returns (done, latency_charged).
+
+        *charge* adds the latency to the access's spine bank-cycle count
+        (set False for tag matches running in parallel off the spine).
+        """
+        latency = self._bank_latency(column, position, replace)
+        start = self.geometry.bank_resource(column, position).acquire(time, latency)
+        if charge:
+            self._spine_bank_cycles += latency
+        return start + latency, latency
+
+    @staticmethod
+    def _head(tail_arrival: int, flits: int) -> int:
+        """Head-flit arrival given a full-packet (tail) arrival time."""
+        return tail_arrival - (flits - 1)
+
+    # -- unicast flows ----------------------------------------------------------
+
+    def _unicast_access(
+        self, column: int, outcome: AccessOutcome, t0: int, is_write: bool
+    ) -> AccessTiming:
+        banks = self.geometry.banks_per_column(column)
+        hit_pos = outcome.bank if outcome.hit else None
+        fast = self.scheme.is_fast
+
+        # Sequential tag-match walk down the column (Fig. 2). With Fast-LRU
+        # the evicted block rides as the wormhole body behind the request
+        # head, so each next tag match is gated by the head flit only while
+        # the bank stays busy for the tag+replacement time.
+        bank_cycles = 0
+        arrival = self.geometry.core_to_bank(column, 0, t0, CONTROL, core=self._core)
+        position = 0
+        tail_gap = 0  # how far the block body trails the head at this bank
+        while True:
+            is_hit_bank = hit_pos is not None and position == hit_pos
+            replace = fast and not is_hit_bank
+            done, charged = self._bank_acquire(column, position, arrival, replace)
+            bank_cycles += charged
+            if is_hit_bank or position == banks - 1:
+                break
+            if fast:
+                tail = self.geometry.bank_to_bank(
+                    column, position, position + 1, done, DATA
+                )
+                arrival = self._head(tail, DATA)
+                tail_gap = DATA - 1
+            else:
+                arrival = self.geometry.bank_to_bank(
+                    column, position, position + 1, done, CONTROL
+                )
+            position += 1
+
+        if hit_pos is not None:
+            timing = self._finish_hit(
+                column, hit_pos, done, bank_cycles, is_write, multicast=False
+            )
+            if fast and hit_pos > 0:
+                # The hit bank still absorbs the incoming evicted block
+                # (its frame was freed by the departing hit block).
+                absorb, _ = self._bank_acquire(
+                    column, hit_pos, done + tail_gap, replace=True
+                )
+                timing.settled = max(timing.settled, absorb)
+                timing.completion = max(timing.completion, absorb)
+            return timing
+        return self._finish_miss(
+            column,
+            outcome,
+            miss_decided=done + tail_gap,
+            miss_source_pos=banks - 1,
+            bank_cycles=bank_cycles,
+            is_write=is_write,
+            chain_already_ran=fast,
+            fast_chain_done=done + tail_gap,
+        )
+
+    # -- multicast flows ---------------------------------------------------------
+
+    def _multicast_access(
+        self, column: int, outcome: AccessOutcome, t0: int, is_write: bool
+    ) -> AccessTiming:
+        banks = self.geometry.banks_per_column(column)
+        hit_pos = outcome.bank if outcome.hit else None
+        fast = self.scheme.is_fast
+
+        arrivals = self.geometry.multicast_column(column, t0, core=self._core)
+        # All banks tag-match concurrently; the MRU bank of a Fast-LRU flow
+        # additionally reads out its victim right after miss detection.
+        done: list[int] = []
+        for position in range(banks):
+            is_hit_bank = hit_pos is not None and position == hit_pos
+            evicts_now = fast and position == 0 and not is_hit_bank
+            finish, _ = self._bank_acquire(
+                column, position, arrivals[position], replace=evicts_now,
+                charge=False,
+            )
+            done.append(finish)
+
+        if hit_pos is not None:
+            hit_bank_latency = self._bank_latency(column, hit_pos, replace=False)
+            self._spine_bank_cycles += hit_bank_latency
+            timing = self._finish_hit(
+                column,
+                hit_pos,
+                done[hit_pos],
+                hit_bank_latency,
+                is_write,
+                multicast=True,
+            )
+            if fast and hit_pos > 0:
+                chain_done = self._fast_chain(column, done, stop=hit_pos)
+                timing.settled = max(timing.settled, chain_done)
+                timing.completion = max(timing.completion, chain_done)
+            return timing
+
+        # Global miss: the core waits for all banks to report misses, then
+        # invokes the memory (Fig. 3(b)/(d)). Since the multicast request
+        # walks down the column, the LRU bank always reports last; we model
+        # the per-bank notifications as combined in-column into one control
+        # packet from the LRU bank (the others are subsumed by it and would
+        # otherwise only add artificial reply-channel pressure).
+        miss_decided, _ = self.geometry.bank_to_core(
+            column, banks - 1, max(done), CONTROL, core=self._core
+        )
+        fast_chain_done = None
+        if fast:
+            fast_chain_done = self._fast_chain(column, done, stop=banks - 1)
+        last_bank_latency = self._bank_latency(column, banks - 1, replace=False)
+        self._spine_bank_cycles += last_bank_latency
+        return self._finish_miss(
+            column,
+            outcome,
+            miss_decided=miss_decided,
+            miss_source_pos=None,  # the core issues the memory request
+            bank_cycles=last_bank_latency,
+            is_write=is_write,
+            chain_already_ran=fast,
+            fast_chain_done=fast_chain_done,
+        )
+
+    # -- shared hit/miss completion ----------------------------------------------
+
+    def _finish_hit(
+        self,
+        column: int,
+        hit_pos: int,
+        hit_done: int,
+        bank_cycles: int,
+        is_write: bool,
+        multicast: bool,
+    ) -> AccessTiming:
+        policy = self.scheme.policy.name
+        reply_flits = CONTROL if is_write else DATA
+
+        if policy == "promotion":
+            data_at_core, _ = self.geometry.bank_to_core(
+                column, hit_pos, hit_done, reply_flits, core=self._core
+            )
+            settled = hit_done
+            completion = data_at_core
+            if hit_pos > 0:
+                # Swap with the next-closer bank: two one-hop block moves.
+                up = self.geometry.bank_to_bank(
+                    column, hit_pos, hit_pos - 1, hit_done, DATA
+                )
+                w_up, _ = self._bank_acquire(column, hit_pos - 1, up, replace=True)
+                down = self.geometry.bank_to_bank(
+                    column, hit_pos - 1, hit_pos, w_up, DATA
+                )
+                w_down, _ = self._bank_acquire(column, hit_pos, down, replace=True)
+                settled = w_down
+                notify, _ = self.geometry.bank_to_core(
+                    column, hit_pos, w_down, CONTROL, core=self._core
+                )
+                completion = max(completion, notify)
+            return AccessTiming(
+                issued=0,
+                data_at_core=data_at_core,
+                completion=completion,
+                hit=True,
+                bank_position=hit_pos,
+                bank_cycles=bank_cycles,
+                settled=settled,
+            )
+
+        # LRU / Fast-LRU: the hit block is forwarded toward the core and
+        # dropped off at the MRU frame on the way.
+        data_at_core, waypoints = self.geometry.bank_to_core(
+            column, hit_pos, hit_done, reply_flits, record_waypoints=True,
+            core=self._core,
+        )
+        settled = hit_done
+        completion = data_at_core
+        if hit_pos > 0:
+            mru_node = self.geometry.bank_node(column, 0)
+            # Waypoints carry head arrivals; the write needs the tail.
+            mru_arrival = waypoints.get(mru_node, self._head(data_at_core, reply_flits))
+            mru_write, _ = self._bank_acquire(
+                column, 0, mru_arrival + (DATA - 1), replace=True
+            )
+            settled = mru_write
+            completion = max(completion, mru_write)
+            if policy == "lru":
+                # Classic LRU: sequential shift-down chain after the hit
+                # block lands in the MRU bank (Fig. 2(a) moves (7)-(9)).
+                chain_done = self._shift_chain(
+                    column, start=mru_write, first=0, last=hit_pos
+                )
+                settled = chain_done
+                notify, _ = self.geometry.bank_to_core(
+                    column, hit_pos, chain_done, CONTROL, core=self._core
+                )
+                completion = max(completion, notify)
+        return AccessTiming(
+            issued=0,
+            data_at_core=data_at_core,
+            completion=completion,
+            hit=True,
+            bank_position=hit_pos,
+            bank_cycles=bank_cycles,
+            settled=settled,
+        )
+
+    def _finish_miss(
+        self,
+        column: int,
+        outcome: AccessOutcome,
+        miss_decided: int,
+        miss_source_pos: int | None,
+        bank_cycles: int,
+        is_write: bool,
+        chain_already_ran: bool,
+        fast_chain_done: int | None = None,
+    ) -> AccessTiming:
+        banks = self.geometry.banks_per_column(column)
+
+        # Memory request: from the last bank (unicast) or the core (multicast).
+        if miss_source_pos is None:
+            mem_request = self.geometry.core_to_memory(
+                miss_decided, CONTROL, core=self._core
+            )
+        else:
+            mem_request = self.geometry.bank_to_memory(
+                column, miss_source_pos, miss_decided, CONTROL
+            )
+        _, data_ready = self.memory.read(mem_request)
+        memory_cycles = data_ready - mem_request
+
+        # Fill the MRU bank; the MRU router cut-through-forwards the block
+        # to the core as its flits stream in.
+        fill_tail = self.geometry.memory_to_bank(column, 0, data_ready, DATA)
+        fill_write, _ = self._bank_acquire(column, 0, fill_tail, replace=True)
+        data_at_core, _ = self.geometry.bank_to_core(
+            column, 0, self._head(fill_tail, DATA), DATA, core=self._core
+        )
+        settled = fill_write
+        completion = max(data_at_core, fill_write)
+
+        if chain_already_ran:
+            # Fast-LRU: every bank already shifted its block during the tag
+            # phase; the MRU frame was empty awaiting this fill.
+            chain_done = fast_chain_done if fast_chain_done is not None else fill_write
+            chain_end = banks - 1
+        else:
+            # The fill displaces the MRU block and the stack demotes:
+            # the whole column for recursive replacement (LRU and this
+            # paper's Promotion), one bank for one-copy, none for
+            # zero-copy (footnote 4 variants).
+            miss_policy = getattr(self.scheme.policy, "miss_policy", "recursive")
+            if miss_policy == "zero_copy":
+                chain_end = 0
+            elif miss_policy == "one_copy":
+                chain_end = min(1, banks - 1)
+            else:
+                chain_end = banks - 1
+            chain_done = self._shift_chain(
+                column, start=fill_write, first=0, last=chain_end
+            )
+        settled = max(settled, chain_done)
+        completion = max(completion, chain_done)
+
+        # Dirty victim leaves its bank for memory (fire-and-forget: it
+        # occupies channels and the memory pipe but does not extend the
+        # transaction the core observes).
+        if outcome.writeback_required:
+            victim_bank = (
+                outcome.victim_bank
+                if outcome.victim_bank is not None
+                else banks - 1
+            )
+            wb_arrival = self.geometry.bank_to_memory(
+                column, victim_bank, chain_done, DATA
+            )
+            self.memory.writeback(wb_arrival)
+
+        notify, _ = self.geometry.bank_to_core(
+            column, chain_end, chain_done, CONTROL, core=self._core
+        )
+        completion = max(completion, notify)
+        return AccessTiming(
+            issued=0,
+            data_at_core=data_at_core,
+            completion=completion,
+            hit=False,
+            bank_position=None,
+            bank_cycles=bank_cycles,
+            memory_cycles=memory_cycles,
+            settled=settled,
+        )
+
+    # -- replacement chains --------------------------------------------------------
+
+    def _shift_chain(self, column: int, start: int, first: int, last: int) -> int:
+        """Sequential demotion chain: bank i's block moves to bank i+1 for
+        ``i = first..last-1`` (classic LRU shifts / Promotion's recursive
+        replacement after a fill). Each link is gated by the head flit of
+        the incoming block (cut-through: the tail streams into the frame
+        while the next link's victim already departs)."""
+        current = start
+        for position in range(first, last):
+            tail = self.geometry.bank_to_bank(
+                column, position, position + 1, current, DATA
+            )
+            current, _ = self._bank_acquire(
+                column, position + 1, self._head(tail, DATA), replace=True
+            )
+        # The last block's tail must fully land before the set settles.
+        return current + (DATA - 1) if last > first else current
+
+    def _fast_chain(self, column: int, done: list[int], stop: int) -> int:
+        """Fast-LRU eviction chain (Fig. 3): bank 0's victim moves to bank 1
+        as soon as bank 0 detects its miss; each subsequent bank releases
+        its own victim once it has both missed and received its
+        predecessor's block. The chain is absorbed at bank *stop* (the hit
+        bank's freed frame, or the LRU bank on a global miss)."""
+        if stop <= 0:
+            return done[0]
+        current = done[0]
+        for position in range(1, stop + 1):
+            tail = self.geometry.bank_to_bank(
+                column, position - 1, position, current, DATA
+            )
+            ready = max(self._head(tail, DATA), done[position])
+            current, _ = self._bank_acquire(column, position, ready, replace=True)
+        return current + (DATA - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TransactionEngine(scheme={self.scheme.name})"
+
+
+def make_scheme(name: str) -> Scheme:
+    """Build a scheme from names like ``multicast+fast_lru``."""
+    from repro.cache.replacement import policy_by_name
+
+    try:
+        cast, policy_name = name.split("+", 1)
+    except ValueError:
+        raise ProtocolError(
+            f"scheme name {name!r} must look like 'unicast+lru'"
+        ) from None
+    if cast not in ("unicast", "multicast"):
+        raise ProtocolError(f"unknown cast {cast!r} in scheme {name!r}")
+    return Scheme(multicast=(cast == "multicast"), policy=policy_by_name(policy_name))
+
+
+#: The five scheme combinations of Figure 8, in the paper's legend order.
+FIGURE8_SCHEMES = (
+    "unicast+promotion",
+    "unicast+lru",
+    "unicast+fast_lru",
+    "multicast+promotion",
+    "multicast+fast_lru",
+)

@@ -1,0 +1,259 @@
+"""Resource-aware timing geometry of one cache design.
+
+Bridges the topology (where banks sit, which channels exist) and the
+transaction flows (who talks to whom, when). Every channel and every bank
+is a FCFS :class:`~repro.sim.resource.Resource`; halo spike queues are
+2-entry :class:`~repro.sim.resource.OccupancyTracker` instances (the paper
+gives each spike a small issue queue). Traversals reserve each channel on
+the path for the packet's flit count, so concurrent transactions contend
+exactly where the paper says they do: the row the core sits on, the bank
+columns, and the memory channel.
+"""
+
+from __future__ import annotations
+
+from repro.cache.bank import BankDescriptor
+from repro.config import RouterConfig, packet_flits
+from repro.errors import ConfigurationError
+from repro.noc.routing import RouteComputer, routing_for
+from repro.noc.topology import HaloTopology, NodeId, Topology, spike_node
+from repro.sim.resource import FloorClock, OccupancyTracker, Resource
+
+
+class CacheGeometry:
+    """Physical layout + contention state of one design."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        columns: list[list[BankDescriptor]],
+        routing: RouteComputer | None = None,
+        router_config: RouterConfig | None = None,
+        spike_queue_entries: int = 2,
+    ) -> None:
+        self.topology = topology
+        self.columns = columns
+        self.routing = routing or routing_for(topology)
+        self.router_config = router_config or RouterConfig()
+        self.is_halo = isinstance(topology, HaloTopology)
+        if topology.core_attach is None or topology.memory_attach is None:
+            raise ConfigurationError("topology must define core/memory attach points")
+        self.core_node: NodeId = topology.core_attach
+        self.memory_node: NodeId = topology.memory_attach
+        self.memory_pin_delay = topology.memory_pin_delay
+
+        #: Shared lower bound on future request times; lets every resource
+        #: prune its past reservations in O(1) amortized.
+        self.floor_clock = FloorClock()
+        self._channel_resources: dict[tuple[NodeId, NodeId], Resource] = {}
+        self._bank_resources: dict[tuple[int, int], Resource] = {}
+        self._spike_queues: dict[int, OccupancyTracker] | None = None
+        if self.is_halo:
+            self._spike_queues = {
+                s: OccupancyTracker(spike_queue_entries, name=f"spike-queue-{s}")
+                for s in range(len(columns))
+            }
+        self._validate()
+
+    def _validate(self) -> None:
+        for col in range(len(self.columns)):
+            for descriptor in self.columns[col]:
+                node = self.bank_node(col, descriptor.position)
+                if node not in self.topology.nodes:
+                    raise ConfigurationError(
+                        f"bank ({col},{descriptor.position}) maps to missing "
+                        f"node {node}"
+                    )
+
+    # -- layout -------------------------------------------------------------
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    def banks_per_column(self, column: int) -> int:
+        return len(self.columns[column])
+
+    def bank(self, column: int, position: int) -> BankDescriptor:
+        return self.columns[column][position]
+
+    def bank_node(self, column: int, position: int) -> NodeId:
+        """Topology node of the router attached to a bank."""
+        if self.is_halo:
+            return spike_node(column, position)
+        return (column, position)
+
+    # -- resources ----------------------------------------------------------
+
+    def channel_resource(self, src: NodeId, dst: NodeId) -> Resource:
+        key = (src, dst)
+        resource = self._channel_resources.get(key)
+        if resource is None:
+            self.topology.channel(src, dst)  # validates existence
+            resource = Resource(name=f"ch{src}->{dst}", floor_clock=self.floor_clock)
+            self._channel_resources[key] = resource
+        return resource
+
+    def bank_resource(self, column: int, position: int) -> Resource:
+        key = (column, position)
+        resource = self._bank_resources.get(key)
+        if resource is None:
+            resource = Resource(name=f"bank{key}", floor_clock=self.floor_clock)
+            self._bank_resources[key] = resource
+        return resource
+
+    def spike_queue(self, column: int) -> OccupancyTracker:
+        if self._spike_queues is None:
+            raise ConfigurationError("spike queues exist only on halo designs")
+        return self._spike_queues[column]
+
+    def reset_contention(self) -> None:
+        """Clear all resource occupancy (fresh run, same layout)."""
+        self.floor_clock.reset()
+        for resource in self._channel_resources.values():
+            resource.reset()
+        for resource in self._bank_resources.values():
+            resource.reset()
+        if self._spike_queues is not None:
+            for tracker in self._spike_queues.values():
+                tracker.reset()
+
+    # -- timing primitives ----------------------------------------------------
+
+    def hop_cost(self, src: NodeId, dst: NodeId) -> int:
+        """Uncontended head-flit cost of one hop: router + wire."""
+        channel = self.topology.channel(src, dst)
+        return self.router_config.hop_latency + channel.wire_delay
+
+    def traverse(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        time: int,
+        flits: int,
+        record_waypoints: bool = False,
+    ) -> tuple[int, dict[NodeId, int]]:
+        """Move a *flits*-flit packet from *src* to *dst* starting at *time*.
+
+        Each channel on the routed path is reserved FCFS for *flits* cycles
+        (wormhole serialization). Returns ``(arrival, waypoints)`` where
+        *arrival* is when the complete packet is available at *dst* and
+        *waypoints* maps intermediate nodes to head-flit arrival times
+        (only filled when *record_waypoints*).
+        """
+        waypoints: dict[NodeId, int] = {}
+        if src == dst:
+            return time, waypoints
+        path = self.routing.path(self.topology, src, dst)
+        head = time
+        for i in range(len(path) - 1):
+            resource = self.channel_resource(path[i], path[i + 1])
+            start = resource.acquire(head, flits)
+            head = start + self.hop_cost(path[i], path[i + 1])
+            if record_waypoints and i + 1 < len(path) - 1:
+                waypoints[path[i + 1]] = head
+        arrival = head + (flits - 1)
+        return arrival, waypoints
+
+    def multicast_column(
+        self, column: int, time: int, core: NodeId | None = None
+    ) -> list[int]:
+        """Deliver one multicast request flit to every bank of a column.
+
+        Models the Section-3.1 chain replication: the flit travels from the
+        core toward the column, and at every bank router a replica ejects
+        while the original continues to the next bank. Returns the request
+        arrival time at each bank position.
+        """
+        flits = packet_flits(carries_block=False)
+        arrivals: list[int] = []
+        head = time
+        src = core if core is not None else self.core_node
+        for position in range(self.banks_per_column(column)):
+            dst = self.bank_node(column, position)
+            arrival, _ = self.traverse(src, dst, head, flits)
+            arrivals.append(arrival)
+            head = arrival
+            src = dst
+        return arrivals
+
+    # -- common endpoints -----------------------------------------------------
+
+    def core_to_bank(
+        self,
+        column: int,
+        position: int,
+        time: int,
+        flits: int,
+        core: NodeId | None = None,
+    ) -> int:
+        src = core if core is not None else self.core_node
+        arrival, _ = self.traverse(
+            src, self.bank_node(column, position), time, flits
+        )
+        return arrival
+
+    def bank_to_bank(
+        self, column: int, src_pos: int, dst_pos: int, time: int, flits: int
+    ) -> int:
+        arrival, _ = self.traverse(
+            self.bank_node(column, src_pos),
+            self.bank_node(column, dst_pos),
+            time,
+            flits,
+        )
+        return arrival
+
+    def bank_to_core(
+        self,
+        column: int,
+        position: int,
+        time: int,
+        flits: int,
+        record_waypoints: bool = False,
+        core: NodeId | None = None,
+    ) -> tuple[int, dict[NodeId, int]]:
+        dst = core if core is not None else self.core_node
+        return self.traverse(
+            self.bank_node(column, position),
+            dst,
+            time,
+            flits,
+            record_waypoints=record_waypoints,
+        )
+
+    def core_to_memory(
+        self, time: int, flits: int, core: NodeId | None = None
+    ) -> int:
+        src = core if core is not None else self.core_node
+        arrival, _ = self.traverse(src, self.memory_node, time, flits)
+        return arrival + self.memory_pin_delay
+
+    def memory_to_bank(
+        self, column: int, position: int, time: int, flits: int
+    ) -> int:
+        arrival, _ = self.traverse(
+            self.memory_node,
+            self.bank_node(column, position),
+            time + self.memory_pin_delay,
+            flits,
+        )
+        return arrival
+
+    def bank_to_memory(
+        self, column: int, position: int, time: int, flits: int
+    ) -> int:
+        arrival, _ = self.traverse(
+            self.bank_node(column, position), self.memory_node, time, flits
+        )
+        return arrival + self.memory_pin_delay
+
+    def enter_column(self, column: int, time: int) -> int:
+        """Admission step before a request leaves the core.
+
+        On halo designs the request first claims one of the spike's queue
+        entries; on meshes admission is immediate.
+        """
+        if self._spike_queues is None:
+            return time
+        return self.spike_queue(column).acquire(time, 1) + 1

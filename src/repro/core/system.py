@@ -1,0 +1,191 @@
+"""End-to-end networked cache system: the package's main entry point.
+
+Composes a Table-3 design, a replacement scheme, the contents model, the
+off-chip memory, and the transaction flows, and runs an access trace
+through them:
+
+    >>> from repro.core import NetworkedCacheSystem
+    >>> from repro.workloads import profile_by_name, generate_trace
+    >>> profile = profile_by_name("art")
+    >>> system = NetworkedCacheSystem(design="A", scheme="multicast+fast_lru")
+    >>> result = system.run(generate_trace(profile, 2000), profile)
+    >>> result.average_latency > 0
+    True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.address import AddressMapper
+from repro.cache.array import CacheArray
+from repro.cache.bankset import BankSetStats
+from repro.cache.memory import MemoryModel
+from repro.cache.partial_tags import PartialTagConfig, PartialTagStore
+from repro.core.designs import DesignSpec, design_spec
+from repro.core.flows import Scheme, TransactionEngine, make_scheme
+from repro.core.geometry import CacheGeometry
+from repro.errors import ConfigurationError
+from repro.perf.ipc import IssueModel
+from repro.perf.metrics import LatencyAccumulator
+from repro.workloads.profiles import BenchmarkProfile
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class RunResult:
+    """Everything a benchmark harness needs from one trace run."""
+
+    design: str
+    scheme: str
+    benchmark: str
+    accesses: int
+    instructions: int
+    cycles: int
+    ipc: float
+    latency: LatencyAccumulator = field(repr=False)
+    content: BankSetStats = field(repr=False)
+    memory_reads: int = 0
+    memory_writebacks: int = 0
+
+    @property
+    def average_latency(self) -> float:
+        return self.latency.average_latency
+
+    @property
+    def average_hit_latency(self) -> float:
+        return self.latency.average_hit_latency
+
+    @property
+    def average_miss_latency(self) -> float:
+        return self.latency.average_miss_latency
+
+    @property
+    def hit_rate(self) -> float:
+        return self.latency.hit_rate
+
+    def breakdown_fractions(self) -> dict[str, float]:
+        return self.latency.breakdown_fractions()
+
+
+class NetworkedCacheSystem:
+    """A complete design + scheme instance ready to run traces."""
+
+    def __init__(
+        self,
+        design: str | DesignSpec = "A",
+        scheme: str | Scheme = "multicast+fast_lru",
+        mapper: AddressMapper | None = None,
+        router_config=None,
+        spike_queue_entries: int = 2,
+        early_miss_detection: bool = False,
+        partial_tag_bits: int = 6,
+    ) -> None:
+        self.spec = design_spec(design) if isinstance(design, str) else design
+        self.scheme = make_scheme(scheme) if isinstance(scheme, str) else scheme
+        self.geometry: CacheGeometry = self.spec.build(
+            router_config=router_config,
+            spike_queue_entries=spike_queue_entries,
+        )
+        self.mapper = mapper or AddressMapper()
+        self.array = CacheArray(
+            self.geometry.columns, self.scheme.policy, self.mapper
+        )
+        self.memory = MemoryModel()
+        self.memory.channel.floor_clock = self.geometry.floor_clock
+        self.engine = TransactionEngine(self.geometry, self.memory, self.scheme)
+        #: Optional partial-tag early miss detection (D-NUCA smart search).
+        self.partial_tags: PartialTagStore | None = None
+        if early_miss_detection:
+            self.partial_tags = PartialTagStore(
+                PartialTagConfig(bits=partial_tag_bits)
+            )
+
+    # -- single-access convenience ------------------------------------------
+
+    def access(self, address: int, at: int = 0, is_write: bool = False):
+        """Run one access; returns its :class:`AccessTiming`."""
+        decoded = self.mapper.decode(address)
+        outcome = self.array.access(decoded, is_write)
+        return self.engine.execute(decoded.column, outcome, at, is_write)
+
+    # -- trace runs ------------------------------------------------------------
+
+    def run(
+        self,
+        trace: Trace,
+        profile: BenchmarkProfile | None = None,
+        perfect_ipc: float | None = None,
+        warmup: int | None = None,
+        hide_cycles: int = 0,
+    ) -> RunResult:
+        """Run *trace* through the system and aggregate the results.
+
+        The first *warmup* accesses (default: a third of the trace) update
+        cache contents without timing, standing in for the paper's 100 M
+        warm-up instructions. Either *profile* or *perfect_ipc* must supply
+        the core's ideal IPC.
+        """
+        if profile is not None:
+            perfect_ipc = profile.perfect_l2_ipc
+        if perfect_ipc is None:
+            raise ConfigurationError("run() needs a profile or perfect_ipc")
+        if warmup is None:
+            warmup = len(trace) // 3
+        if warmup >= len(trace):
+            raise ConfigurationError("warmup must leave accesses to measure")
+
+        issue = IssueModel(perfect_ipc=perfect_ipc, hide_cycles=hide_cycles)
+        latency = LatencyAccumulator()
+
+        for i, access in enumerate(trace):
+            decoded = self.mapper.decode(access.address)
+            early_miss = False
+            if self.partial_tags is not None and i >= warmup:
+                state = self.array.set_state(decoded.column, decoded.index)
+                hit_way = state.find(decoded.tag)
+                early_miss = self.partial_tags.is_guaranteed_miss(
+                    state, decoded.tag, actual_hit=hit_way is not None
+                )
+            outcome = self.array.access(decoded, access.is_write)
+            if i < warmup:
+                if i == warmup - 1:
+                    # Measurement starts fresh after warm-up.
+                    self.array.stats = BankSetStats()
+                    self.memory.reset()
+                    self.geometry.reset_contention()
+                    self.engine.reset()
+                continue
+            issue_time = issue.issue_time(access.gap_instructions)
+            if early_miss:
+                timing = self.engine.execute_early_miss(
+                    decoded.column, outcome, issue_time, access.is_write
+                )
+            else:
+                timing = self.engine.execute(
+                    decoded.column, outcome, issue_time, access.is_write
+                )
+            issue.complete(timing.data_at_core, is_write=access.is_write)
+            latency.record(
+                latency=timing.transaction_latency,
+                hit=timing.hit,
+                bank=timing.bank_cycles,
+                network=timing.network_cycles,
+                memory=timing.memory_cycles,
+                bank_position=timing.bank_position,
+            )
+
+        cycles, ipc = issue.finish()
+        return RunResult(
+            design=self.spec.key,
+            scheme=self.scheme.name,
+            benchmark=trace.name,
+            accesses=latency.total_count,
+            instructions=issue.instructions,
+            cycles=cycles,
+            ipc=ipc,
+            latency=latency,
+            content=self.array.stats,
+            memory_reads=self.memory.reads,
+            memory_writebacks=self.memory.writebacks,
+        )

@@ -1,0 +1,226 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each ablation isolates one mechanism of the proposal and measures its
+contribution on a fixed workload mix:
+
+* ``router``      -- single-cycle router vs the classic 5-stage pipeline;
+* ``spike_queue`` -- halo spike issue-queue depth (the paper uses 2);
+* ``multicast``   -- parallel tag match vs sequential search (Fast-LRU
+                     contents held fixed);
+* ``fast_lru``    -- overlapped vs classic replacement (multicast held
+                     fixed);
+* ``sampling``    -- set-sampling sensitivity: the figure shapes must not
+                     depend on the sampled index-space size;
+* ``issue_model`` -- hide_cycles sensitivity of the blocking-read IPC
+                     model (normalized comparisons must be stable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import RouterConfig
+from repro.core.system import NetworkedCacheSystem
+from repro.experiments.common import ExperimentConfig, geometric_mean
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.profiles import profile_by_name
+
+DEFAULT_BENCHMARKS = ("art", "twolf", "mcf")
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One configuration in an ablation sweep."""
+
+    label: str
+    geomean_ipc: float
+    mean_latency: float
+
+
+def _run_mix(
+    benchmarks,
+    measure: int,
+    seed: int,
+    build_system,
+    hide_cycles: int = 0,
+    index_space: int | None = None,
+) -> tuple[float, float]:
+    """(geomean IPC, mean latency) of a system factory over a mix."""
+    ipcs, latencies = [], []
+    for name in benchmarks:
+        profile = profile_by_name(name)
+        kwargs = {} if index_space is None else {"index_space": index_space}
+        generator = TraceGenerator(profile, seed=seed, **kwargs)
+        trace, warmup = generator.generate_with_warmup(measure=measure)
+        system = build_system()
+        result = system.run(trace, profile, warmup=warmup,
+                            hide_cycles=hide_cycles)
+        ipcs.append(result.ipc)
+        latencies.append(result.average_latency)
+    return geometric_mean(ipcs), sum(latencies) / len(latencies)
+
+
+def router_ablation(config: ExperimentConfig | None = None) -> list[AblationPoint]:
+    """Single-cycle vs pipelined router, Design A, Multicast Fast-LRU."""
+    config = config or ExperimentConfig()
+    points = []
+    for label, single in (("single-cycle", True), ("pipelined (5-stage)", False)):
+        ipc, latency = _run_mix(
+            DEFAULT_BENCHMARKS,
+            config.measure,
+            config.seed,
+            lambda single=single: NetworkedCacheSystem(
+                design="A",
+                scheme="multicast+fast_lru",
+                router_config=RouterConfig(single_cycle=single),
+            ),
+        )
+        points.append(AblationPoint(label, ipc, latency))
+    return points
+
+
+def spike_queue_ablation(
+    config: ExperimentConfig | None = None,
+    depths: tuple = (1, 2, 4),
+) -> list[AblationPoint]:
+    """Spike issue-queue depth on Design F."""
+    config = config or ExperimentConfig()
+    points = []
+    for depth in depths:
+        ipc, latency = _run_mix(
+            DEFAULT_BENCHMARKS,
+            config.measure,
+            config.seed,
+            lambda depth=depth: NetworkedCacheSystem(
+                design="F",
+                scheme="multicast+fast_lru",
+                spike_queue_entries=depth,
+            ),
+        )
+        points.append(AblationPoint(f"{depth}-entry spike queue", ipc, latency))
+    return points
+
+
+def spiral_spike_ablation(
+    config: ExperimentConfig | None = None,
+) -> list[AblationPoint]:
+    """Straight vs spiral (curved) spikes on a uniform halo.
+
+    Section 4: curving a spike packs the die better but lengthens its
+    wires; we model the spiral as doubling every spike wire delay.
+    """
+    from repro.cache.bank import bank_descriptors_for_column
+    from repro.core.geometry import CacheGeometry
+    from repro.noc.topology import HaloTopology
+
+    config = config or ExperimentConfig()
+    points = []
+    for label, scale in (("straight spikes", 1), ("spiral spikes (2x wire)", 2)):
+
+        def build(scale=scale):
+            system = NetworkedCacheSystem(design="E", scheme="multicast+fast_lru")
+            topology = HaloTopology(
+                16, 16,
+                position_bank_capacities=[64 * 1024] * 16,
+                memory_pin_delay=16,
+                wire_delay_scale=scale,
+            )
+            columns = [
+                bank_descriptors_for_column([64 * 1024] * 16) for _ in range(16)
+            ]
+            system.geometry = CacheGeometry(topology, columns)
+            system.memory.channel.floor_clock = system.geometry.floor_clock
+            from repro.core.flows import TransactionEngine
+            system.engine = TransactionEngine(
+                system.geometry, system.memory, system.scheme
+            )
+            return system
+
+        ipc, latency = _run_mix(
+            DEFAULT_BENCHMARKS, config.measure, config.seed, build
+        )
+        points.append(AblationPoint(label, ipc, latency))
+    return points
+
+
+def mechanism_ablation(config: ExperimentConfig | None = None) -> list[AblationPoint]:
+    """Factor the proposal: baseline -> +Fast-LRU -> +multicast -> +halo."""
+    config = config or ExperimentConfig()
+    steps = (
+        ("unicast promotion on mesh (baseline)", "A", "unicast+promotion"),
+        ("+ Fast-LRU", "A", "unicast+fast_lru"),
+        ("+ multicast", "A", "multicast+fast_lru"),
+        ("+ halo (Design F)", "F", "multicast+fast_lru"),
+    )
+    points = []
+    for label, design, scheme in steps:
+        ipc, latency = _run_mix(
+            DEFAULT_BENCHMARKS,
+            config.measure,
+            config.seed,
+            lambda design=design, scheme=scheme: NetworkedCacheSystem(
+                design=design, scheme=scheme
+            ),
+        )
+        points.append(AblationPoint(label, ipc, latency))
+    return points
+
+
+def sampling_ablation(
+    config: ExperimentConfig | None = None,
+    index_spaces: tuple = (4, 8, 16),
+) -> dict[int, float]:
+    """Halo-vs-mesh IPC ratio across set-sampling factors.
+
+    The ratio (Design F / Design A, same scheme) is the quantity Fig. 9
+    reports; it must be stable under the sampling choice.
+    """
+    config = config or ExperimentConfig()
+    ratios = {}
+    for index_space in index_spaces:
+        ipc_a, _ = _run_mix(
+            DEFAULT_BENCHMARKS, config.measure, config.seed,
+            lambda: NetworkedCacheSystem(design="A", scheme="multicast+fast_lru"),
+            index_space=index_space,
+        )
+        ipc_f, _ = _run_mix(
+            DEFAULT_BENCHMARKS, config.measure, config.seed,
+            lambda: NetworkedCacheSystem(design="F", scheme="multicast+fast_lru"),
+            index_space=index_space,
+        )
+        ratios[index_space] = ipc_f / ipc_a
+    return ratios
+
+
+def issue_model_ablation(
+    config: ExperimentConfig | None = None,
+    hide_values: tuple = (0, 10, 20),
+) -> dict[int, float]:
+    """Halo-vs-mesh IPC ratio across the IPC model's hide_cycles knob."""
+    config = config or ExperimentConfig()
+    ratios = {}
+    for hide in hide_values:
+        ipc_a, _ = _run_mix(
+            DEFAULT_BENCHMARKS, config.measure, config.seed,
+            lambda: NetworkedCacheSystem(design="A", scheme="multicast+fast_lru"),
+            hide_cycles=hide,
+        )
+        ipc_f, _ = _run_mix(
+            DEFAULT_BENCHMARKS, config.measure, config.seed,
+            lambda: NetworkedCacheSystem(design="F", scheme="multicast+fast_lru"),
+            hide_cycles=hide,
+        )
+        ratios[hide] = ipc_f / ipc_a
+    return ratios
+
+
+def render(points: list[AblationPoint], title: str) -> str:
+    lines = [title, "=" * len(title)]
+    base = points[0].geomean_ipc
+    for point in points:
+        lines.append(
+            f"  {point.label:38s} IPC {point.geomean_ipc:.3f} "
+            f"({point.geomean_ipc / base:+.1%} vs first)  "
+            f"lat {point.mean_latency:.1f}"
+        )
+    return "\n".join(lines)

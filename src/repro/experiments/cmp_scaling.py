@@ -1,0 +1,71 @@
+"""CMP scaling study (the paper's future-work direction, Section 7).
+
+Multiprogrammed workloads share the networked L2: throughput (sum of
+per-core IPC) and average latency as the core count grows, mesh vs halo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cmp import CMPCacheSystem
+from repro.workloads import TraceGenerator, profile_by_name
+
+#: Multiprogrammed mix, one benchmark per core (paper Table-2 members).
+DEFAULT_MIX = ("twolf", "vpr", "art", "galgel")
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    design: str
+    num_cores: int
+    aggregate_ipc: float
+    average_latency: float
+    fairness: float
+
+
+def _workload(name: str, seed: int, measure: int):
+    profile = profile_by_name(name)
+    trace, warmup = TraceGenerator(profile, seed=seed).generate_with_warmup(
+        measure=measure
+    )
+    return (profile, trace, warmup)
+
+
+def run(
+    designs: tuple = ("A", "F"),
+    core_counts: tuple = (1, 2, 4),
+    measure: int = 1500,
+    seed: int = 10,
+) -> list[ScalingPoint]:
+    points = []
+    for design in designs:
+        for num_cores in core_counts:
+            mix = DEFAULT_MIX[:num_cores]
+            workloads = [
+                _workload(name, seed + i, measure) for i, name in enumerate(mix)
+            ]
+            system = CMPCacheSystem(design=design, num_cores=num_cores)
+            result = system.run(workloads)
+            points.append(
+                ScalingPoint(
+                    design=design,
+                    num_cores=num_cores,
+                    aggregate_ipc=result.aggregate_ipc,
+                    average_latency=result.average_latency,
+                    fairness=result.fairness,
+                )
+            )
+    return points
+
+
+def render(points: list[ScalingPoint]) -> str:
+    lines = ["CMP scaling: shared networked L2, multiprogrammed mix",
+             f"{'design':>6} {'cores':>5} {'agg IPC':>8} {'avg lat':>8} {'fairness':>9}"]
+    for point in points:
+        lines.append(
+            f"{point.design:>6} {point.num_cores:>5} "
+            f"{point.aggregate_ipc:>8.3f} {point.average_latency:>8.1f} "
+            f"{point.fairness:>9.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Shared experiment infrastructure: configs, trace caching, runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.system import NetworkedCacheSystem, RunResult
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.profiles import BENCHMARKS, profile_by_name
+from repro.workloads.trace import Trace
+
+#: Table-2 benchmark names in the paper's order.
+BENCHMARK_NAMES = tuple(profile.name for profile in BENCHMARKS)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all figure/table drivers.
+
+    The defaults match the calibration documented in DESIGN.md; tests use
+    smaller ``measure`` values for speed. Results are deterministic given
+    a config.
+    """
+
+    measure: int = 10_000
+    seed: int = 1
+    benchmarks: tuple = BENCHMARK_NAMES
+    warmup_mix_factor: float = 0.5
+
+    def scaled(self, measure: int) -> "ExperimentConfig":
+        """Same config at a different measurement length."""
+        return ExperimentConfig(
+            measure=measure,
+            seed=self.seed,
+            benchmarks=self.benchmarks,
+            warmup_mix_factor=self.warmup_mix_factor,
+        )
+
+
+_trace_cache: dict[tuple, tuple[Trace, int]] = {}
+
+
+def trace_for(benchmark: str, config: ExperimentConfig) -> tuple[Trace, int]:
+    """Deterministic (trace, warmup) for a benchmark, cached per config."""
+    key = (benchmark, config.measure, config.seed, config.warmup_mix_factor)
+    cached = _trace_cache.get(key)
+    if cached is None:
+        generator = TraceGenerator(profile_by_name(benchmark), seed=config.seed)
+        cached = generator.generate_with_warmup(
+            measure=config.measure, mix_factor=config.warmup_mix_factor
+        )
+        _trace_cache[key] = cached
+    return cached
+
+
+_result_cache: dict[tuple, RunResult] = {}
+
+
+def run_system(
+    design: str,
+    scheme: str,
+    benchmark: str,
+    config: ExperimentConfig,
+) -> RunResult:
+    """Build a fresh system and run one benchmark through it.
+
+    Runs are deterministic given their arguments, so results are memoized
+    per process (the figure drivers share many (design, scheme, benchmark)
+    cells).
+    """
+    key = (design, scheme, benchmark, config)
+    cached = _result_cache.get(key)
+    if cached is not None:
+        return cached
+    profile = profile_by_name(benchmark)
+    trace, warmup = trace_for(benchmark, config)
+    system = NetworkedCacheSystem(design=design, scheme=scheme)
+    result = system.run(trace, profile, warmup=warmup)
+    _result_cache[key] = result
+    return result
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean (0 if any value is non-positive)."""
+    if not values or any(v <= 0 for v in values):
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+@dataclass
+class SchemeSummary:
+    """Per-scheme aggregate over all benchmarks (used by Fig. 7/8)."""
+
+    scheme: str
+    per_benchmark: dict[str, RunResult] = field(default_factory=dict)
+
+    def mean_latency(self) -> float:
+        values = [r.average_latency for r in self.per_benchmark.values()]
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_hit_latency(self) -> float:
+        values = [r.average_hit_latency for r in self.per_benchmark.values()]
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_miss_latency(self) -> float:
+        values = [
+            r.average_miss_latency
+            for r in self.per_benchmark.values()
+            if r.latency.miss_count
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    def geomean_ipc(self) -> float:
+        return geometric_mean([r.ipc for r in self.per_benchmark.values()])

@@ -1,0 +1,85 @@
+"""Figure 7: latency distribution of L2 accesses under Unicast LRU.
+
+The paper reports that network traversal dominates the average access
+latency (65 % on average) while bank access (25 %) and memory access
+(10 %) are comparatively small -- the observation motivating the whole
+design. We regenerate the per-benchmark stacked percentages on Design A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.charts import stacked_bars
+from repro.experiments.common import ExperimentConfig, run_system
+from repro.experiments.report import format_table
+
+SCHEME = "unicast+lru"
+DESIGN = "A"
+
+#: The paper's average shares (network / bank / memory).
+PAPER_AVERAGE = {"network": 0.65, "bank": 0.25, "memory": 0.10}
+
+
+@dataclass
+class Figure7Row:
+    benchmark: str
+    bank_pct: float
+    network_pct: float
+    memory_pct: float
+
+
+def run(config: ExperimentConfig | None = None) -> list[Figure7Row]:
+    config = config or ExperimentConfig()
+    rows = []
+    for benchmark in config.benchmarks:
+        result = run_system(DESIGN, SCHEME, benchmark, config)
+        shares = result.breakdown_fractions()
+        rows.append(
+            Figure7Row(
+                benchmark=benchmark,
+                bank_pct=100 * shares["bank"],
+                network_pct=100 * shares["network"],
+                memory_pct=100 * shares["memory"],
+            )
+        )
+    return rows
+
+
+def average_shares(rows: list[Figure7Row]) -> dict[str, float]:
+    n = len(rows)
+    return {
+        "bank": sum(r.bank_pct for r in rows) / n / 100,
+        "network": sum(r.network_pct for r in rows) / n / 100,
+        "memory": sum(r.memory_pct for r in rows) / n / 100,
+    }
+
+
+def render(rows: list[Figure7Row]) -> str:
+    table_rows = [
+        (r.benchmark, r.bank_pct, r.network_pct, r.memory_pct) for r in rows
+    ]
+    avg = average_shares(rows)
+    table_rows.append(
+        ("avg", 100 * avg["bank"], 100 * avg["network"], 100 * avg["memory"])
+    )
+    body = format_table(
+        ["benchmark", "bank %", "network %", "memory %"],
+        table_rows,
+        title="Figure 7: L2 access latency distribution (Unicast LRU, Design A)",
+    )
+    chart = stacked_bars(
+        {
+            r.benchmark: {
+                "bank": r.bank_pct,
+                "network": r.network_pct,
+                "memory": r.memory_pct,
+            }
+            for r in rows
+        }
+    )
+    paper = (
+        f"paper averages: network {PAPER_AVERAGE['network']:.0%}, "
+        f"bank {PAPER_AVERAGE['bank']:.0%}, memory {PAPER_AVERAGE['memory']:.0%}"
+    )
+    return f"{body}\n\n{chart}\n\n{paper}"

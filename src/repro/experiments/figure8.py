@@ -1,0 +1,106 @@
+"""Figure 8: L2 access latency of the five replacement schemes (Design A).
+
+Three panels: (a) average access latency, (b) average hit latency,
+(c) average miss latency, for
+
+    unicast+promotion, unicast+lru, unicast+fast_lru,
+    multicast+promotion, multicast+fast_lru
+
+The paper's headline deltas, reproduced by :func:`summary`:
+
+* Unicast LRU raises average latency ~4.4 % over Promotion, but Fast-LRU
+  cuts it ~30 %;
+* Multicast Fast-LRU cuts Unicast LRU's hit latency ~48 % and miss
+  latency ~32 %, and beats Multicast Promotion by ~37 % (IPC +20 %).
+"""
+
+from __future__ import annotations
+
+from repro.core.flows import FIGURE8_SCHEMES
+from repro.experiments.common import (
+    ExperimentConfig,
+    SchemeSummary,
+    run_system,
+)
+from repro.experiments.report import format_ratio, format_table
+
+DESIGN = "A"
+
+
+def run(config: ExperimentConfig | None = None) -> dict[str, SchemeSummary]:
+    config = config or ExperimentConfig()
+    summaries: dict[str, SchemeSummary] = {}
+    for scheme in FIGURE8_SCHEMES:
+        summary = SchemeSummary(scheme=scheme)
+        for benchmark in config.benchmarks:
+            summary.per_benchmark[benchmark] = run_system(
+                DESIGN, scheme, benchmark, config
+            )
+        summaries[scheme] = summary
+    return summaries
+
+
+def summary(results: dict[str, SchemeSummary]) -> dict[str, float]:
+    """The paper's headline ratios (value < 1 means 'reduced')."""
+    lat = {s: results[s].mean_latency() for s in results}
+    hit = {s: results[s].mean_hit_latency() for s in results}
+    miss = {s: results[s].mean_miss_latency() for s in results}
+    ipc = {s: results[s].geomean_ipc() for s in results}
+    return {
+        # unicast LRU vs unicast Promotion (paper: +4.4 %)
+        "lru_vs_promotion": lat["unicast+lru"] / lat["unicast+promotion"],
+        # unicast Fast-LRU vs unicast LRU (paper: -30.2 %)
+        "fastlru_vs_lru": lat["unicast+fast_lru"] / lat["unicast+lru"],
+        # multicast Fast-LRU vs unicast LRU (paper: -46 %)
+        "mc_fastlru_vs_lru": lat["multicast+fast_lru"] / lat["unicast+lru"],
+        # ... its hit latency (paper: -48 %)
+        "mc_fastlru_hit_vs_lru": hit["multicast+fast_lru"] / hit["unicast+lru"],
+        # ... its miss latency (paper: -32 %)
+        "mc_fastlru_miss_vs_lru": miss["multicast+fast_lru"] / miss["unicast+lru"],
+        # multicast Fast-LRU vs multicast Promotion (paper: -37 % latency)
+        "mc_fastlru_vs_mc_promotion": (
+            lat["multicast+fast_lru"] / lat["multicast+promotion"]
+        ),
+        # ... and its IPC gain (paper: +20 %)
+        "mc_fastlru_ipc_gain": (
+            ipc["multicast+fast_lru"] / ipc["multicast+promotion"]
+        ),
+    }
+
+
+def render(results: dict[str, SchemeSummary]) -> str:
+    benchmarks = list(next(iter(results.values())).per_benchmark)
+    parts = []
+    for panel, metric in (
+        ("(a) Average Access Latency", "average_latency"),
+        ("(b) Average Hit Latency", "average_hit_latency"),
+        ("(c) Average Miss Latency", "average_miss_latency"),
+    ):
+        rows = []
+        for benchmark in benchmarks:
+            row = [benchmark]
+            for scheme in FIGURE8_SCHEMES:
+                row.append(getattr(results[scheme].per_benchmark[benchmark], metric))
+            rows.append(row)
+        parts.append(
+            format_table(
+                ["benchmark", *FIGURE8_SCHEMES],
+                rows,
+                title=f"Figure 8 {panel} (cycles, Design A)",
+            )
+        )
+    ratios = summary(results)
+    paper = {
+        "lru_vs_promotion": "+4.4%",
+        "fastlru_vs_lru": "-30.2%",
+        "mc_fastlru_vs_lru": "-46%",
+        "mc_fastlru_hit_vs_lru": "-48%",
+        "mc_fastlru_miss_vs_lru": "-32%",
+        "mc_fastlru_vs_mc_promotion": "-37%",
+        "mc_fastlru_ipc_gain": "+20%",
+    }
+    lines = ["Headline ratios (measured vs paper):"]
+    for key, value in ratios.items():
+        lines.append(f"  {key:28s} {format_ratio(value):>6s}  (paper {paper[key]})")
+    parts.append("\n".join(lines))
+    return "\n\n".join(parts)

@@ -1,0 +1,75 @@
+"""Figure 9: normalized IPC of Designs A-F under Multicast Fast-LRU.
+
+The paper's shape: B tracks A (with +7-10 % for the low-hit-rate
+benchmarks thanks to the core-adjacent memory controller), the big-bank
+meshes C and D degrade (-14 % / -12 % on average, most visibly for the
+hit-dominated ``art``), and the halos win (E +12 %, F +13 %; ``art``
+x1.33 and ``lucas`` x1.19 on F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.designs import DESIGN_NAMES, design_spec
+from repro.experiments.charts import horizontal_bars
+from repro.experiments.common import ExperimentConfig, geometric_mean, run_system
+from repro.experiments.report import format_table
+
+SCHEME = "multicast+fast_lru"
+
+
+@dataclass
+class Figure9Result:
+    benchmarks: list[str]
+    #: design -> benchmark -> absolute IPC
+    ipc: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def normalized(self, design: str, benchmark: str) -> float:
+        return self.ipc[design][benchmark] / self.ipc["A"][benchmark]
+
+    def geomean_normalized(self, design: str) -> float:
+        return geometric_mean(
+            [self.normalized(design, b) for b in self.benchmarks]
+        )
+
+
+def run(config: ExperimentConfig | None = None) -> Figure9Result:
+    config = config or ExperimentConfig()
+    result = Figure9Result(benchmarks=list(config.benchmarks))
+    for design in DESIGN_NAMES:
+        result.ipc[design] = {}
+        for benchmark in config.benchmarks:
+            run_result = run_system(design, SCHEME, benchmark, config)
+            result.ipc[design][benchmark] = run_result.ipc
+    return result
+
+
+def render(result: Figure9Result) -> str:
+    rows = []
+    for benchmark in result.benchmarks:
+        rows.append(
+            [benchmark]
+            + [result.normalized(design, benchmark) for design in DESIGN_NAMES]
+        )
+    rows.append(
+        ["GEOMEAN"] + [result.geomean_normalized(d) for d in DESIGN_NAMES]
+    )
+    headers = ["benchmark"] + [
+        f"{d}: {design_spec(d).label}" for d in DESIGN_NAMES
+    ]
+    table = format_table(
+        headers,
+        rows,
+        title="Figure 9: normalized IPC (Multicast Fast-LRU, vs Design A)",
+    )
+    chart = horizontal_bars(
+        {d: result.geomean_normalized(d) for d in DESIGN_NAMES},
+        baseline=1.0,
+        unit="x",
+    )
+    paper = (
+        "paper averages: B ~= A, C -14%, D -12%, E +12%, F +13% "
+        "(art x1.33 / lucas x1.19 on F)"
+    )
+    return f"{table}\n\nGeomean normalized IPC:\n{chart}\n\n{paper}"

@@ -1,0 +1,92 @@
+"""The paper's abstract-level combined claims.
+
+* The full proposal (halo + Multicast Fast-LRU, Design F) improves average
+  IPC by ~38 % over the mesh + Multicast Promotion baseline (Design A);
+* it uses only ~23 % of the baseline's interconnect area;
+* Multicast Fast-LRU alone is worth ~20 % IPC over Multicast Promotion;
+* the halo topology alone is worth ~18 % over the mesh (the abstract's
+  figure; Section 6.2 reports 12-13 % for designs E/F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import table4_area
+from repro.experiments.common import ExperimentConfig, geometric_mean, run_system
+
+
+@dataclass
+class HeadlineResult:
+    ipc_full_vs_baseline: float
+    ipc_fastlru_vs_promotion: float
+    ipc_halo_vs_mesh: float
+    interconnect_area_ratio: float
+
+
+PAPER = HeadlineResult(
+    ipc_full_vs_baseline=1.38,
+    ipc_fastlru_vs_promotion=1.20,
+    ipc_halo_vs_mesh=1.18,
+    interconnect_area_ratio=0.23,
+)
+
+
+def run(config: ExperimentConfig | None = None) -> HeadlineResult:
+    config = config or ExperimentConfig()
+
+    def geomean_ipc(design: str, scheme: str) -> float:
+        return geometric_mean(
+            [
+                run_system(design, scheme, benchmark, config).ipc
+                for benchmark in config.benchmarks
+            ]
+        )
+
+    baseline = geomean_ipc("A", "multicast+promotion")
+    fastlru_mesh = geomean_ipc("A", "multicast+fast_lru")
+    full = geomean_ipc("F", "multicast+fast_lru")
+    areas = table4_area.run(("A", "F"))
+    return HeadlineResult(
+        ipc_full_vs_baseline=full / baseline,
+        ipc_fastlru_vs_promotion=fastlru_mesh / baseline,
+        ipc_halo_vs_mesh=full / fastlru_mesh,
+        interconnect_area_ratio=table4_area.interconnect_ratio(areas),
+    )
+
+
+def render(result: HeadlineResult) -> str:
+    def row(label: str, measured: float, paper: float, pct: bool) -> str:
+        if pct:
+            return f"  {label:44s} {measured - 1:+7.0%}  (paper {paper - 1:+.0%})"
+        return f"  {label:44s} {measured:7.0%}  (paper {paper:.0%})"
+
+    return "\n".join(
+        [
+            "Headline claims: full proposal vs mesh + Multicast Promotion",
+            row(
+                "IPC, halo+Fast-LRU (F) vs baseline (A)",
+                result.ipc_full_vs_baseline,
+                PAPER.ipc_full_vs_baseline,
+                True,
+            ),
+            row(
+                "IPC, Multicast Fast-LRU vs Promotion (on A)",
+                result.ipc_fastlru_vs_promotion,
+                PAPER.ipc_fastlru_vs_promotion,
+                True,
+            ),
+            row(
+                "IPC, halo (F) vs mesh (A), same scheme",
+                result.ipc_halo_vs_mesh,
+                PAPER.ipc_halo_vs_mesh,
+                True,
+            ),
+            row(
+                "interconnect area, F vs A",
+                result.interconnect_area_ratio,
+                PAPER.interconnect_area_ratio,
+                False,
+            ),
+        ]
+    )

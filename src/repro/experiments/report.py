@@ -1,0 +1,34 @@
+"""Plain-text table/series rendering shared by all experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def format_table(headers: list[str], rows: Iterable[Iterable], title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_ratio(value: float) -> str:
+    """e.g. 1.38 -> '+38%'."""
+    return f"{(value - 1) * 100:+.0f}%"

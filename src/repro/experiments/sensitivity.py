@@ -1,0 +1,116 @@
+"""Technology sensitivity of the halo's advantage.
+
+The halo wins because wires are slow relative to the core and the memory
+is far; both are technology parameters. This experiment sweeps them:
+
+* **memory latency** -- with much faster (or slower) off-chip memory, how
+  does the Design-F-over-Design-A IPC ratio move? (Slower memory dilutes
+  the on-chip advantage for miss-heavy mixes; faster memory amplifies
+  the hit-path win.)
+* **wire delay** -- scaling every Table-1 wire delay by k models worse
+  (or better) global wires; the halo's short MRU paths should matter
+  *more* as wires get worse, which is the paper's underlying bet on
+  technology scaling ("increasing wire delays ... lead to various
+  technologies to minimize the impact of slow on-chip communication").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import config as repro_config
+from repro.core.system import NetworkedCacheSystem
+from repro.experiments.common import ExperimentConfig, geometric_mean
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.profiles import profile_by_name
+
+BENCHMARKS = ("art", "twolf", "mcf")
+SCHEME = "multicast+fast_lru"
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    parameter: str
+    value: float
+    ipc_a: float
+    ipc_f: float
+
+    @property
+    def halo_ratio(self) -> float:
+        return self.ipc_f / self.ipc_a
+
+
+def _geomean_ipc(design: str, measure: int, seed: int) -> float:
+    ipcs = []
+    for name in BENCHMARKS:
+        profile = profile_by_name(name)
+        trace, warmup = TraceGenerator(profile, seed=seed).generate_with_warmup(
+            measure=measure
+        )
+        system = NetworkedCacheSystem(design=design, scheme=SCHEME)
+        ipcs.append(system.run(trace, profile, warmup=warmup).ipc)
+    return geometric_mean(ipcs)
+
+
+def memory_latency_sweep(
+    config: ExperimentConfig | None = None,
+    base_latencies: tuple = (60, 130, 300),
+) -> list[SensitivityPoint]:
+    """Sweep the off-chip base latency (Table 1 uses 130 cycles)."""
+    config = config or ExperimentConfig()
+    original = repro_config.MEMORY_BASE_LATENCY
+    points = []
+    try:
+        for base in base_latencies:
+            repro_config.MEMORY_BASE_LATENCY = base
+            points.append(
+                SensitivityPoint(
+                    parameter="memory_base_latency",
+                    value=base,
+                    ipc_a=_geomean_ipc("A", config.measure, config.seed),
+                    ipc_f=_geomean_ipc("F", config.measure, config.seed),
+                )
+            )
+    finally:
+        repro_config.MEMORY_BASE_LATENCY = original
+    return points
+
+
+def wire_delay_sweep(
+    config: ExperimentConfig | None = None,
+    scales: tuple = (1, 2, 3),
+) -> list[SensitivityPoint]:
+    """Scale every Table-1 wire delay by an integer factor."""
+    config = config or ExperimentConfig()
+    original = {
+        capacity: dict(entry)
+        for capacity, entry in repro_config._BANK_TIMING.items()
+    }
+    points = []
+    try:
+        for scale in scales:
+            for capacity, entry in repro_config._BANK_TIMING.items():
+                entry["wire"] = original[capacity]["wire"] * scale
+            points.append(
+                SensitivityPoint(
+                    parameter="wire_delay_scale",
+                    value=scale,
+                    ipc_a=_geomean_ipc("A", config.measure, config.seed),
+                    ipc_f=_geomean_ipc("F", config.measure, config.seed),
+                )
+            )
+    finally:
+        for capacity, entry in repro_config._BANK_TIMING.items():
+            entry.update(original[capacity])
+    return points
+
+
+def render(points: list[SensitivityPoint], title: str) -> str:
+    lines = [title, "=" * len(title),
+             f"{'value':>8} {'IPC A':>8} {'IPC F':>8} {'F / A':>7}"]
+    for point in points:
+        lines.append(
+            f"{point.value:>8.0f} {point.ipc_a:>8.3f} {point.ipc_f:>8.3f} "
+            f"{point.halo_ratio:>7.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Table 1: system parameters, echoed from the configuration plus the
+derived quantities the rest of the system consumes (packet flit counts,
+memory block latency, per-bank wire delays from the RC model).
+
+Regenerating this table is a consistency check: the wire-delay column is
+*recomputed* from the first-order RC model and the Cacti-style tile sizes
+rather than copied, and must land on Table 1's 1/2/2/3 cycles.
+"""
+
+from __future__ import annotations
+
+from repro import config
+from repro.area.floorplan import FloorPlanner
+from repro.area.wire import WireModel
+from repro.experiments.report import format_table
+
+
+def run() -> dict:
+    wire = WireModel()
+    planner = FloorPlanner()
+    banks = []
+    for capacity in config.supported_bank_capacities():
+        timing = config.BankTiming.for_capacity(capacity)
+        tile = planner.tile_side(capacity, 3)
+        banks.append(
+            {
+                "capacity": capacity,
+                "table1_wire_delay": timing.wire_delay,
+                "model_wire_delay": wire.cycles(tile),
+                "tag_latency": timing.tag_latency,
+                "tag_replace_latency": timing.tag_replace_latency,
+                "tile_side_mm": tile,
+            }
+        )
+    return {
+        "block_size": config.BLOCK_SIZE_BYTES,
+        "memory_latency": config.memory_access_latency(),
+        "flit_size_bits": config.FLIT_SIZE_BITS,
+        "flit_buffer": config.FLIT_BUFFER_DEPTH,
+        "vcs_per_pc": config.VCS_PER_PC,
+        "control_packet_flits": config.packet_flits(False),
+        "data_packet_flits": config.packet_flits(True),
+        "banks": banks,
+    }
+
+
+def render(params: dict) -> str:
+    header = "\n".join(
+        [
+            "Table 1: system parameters",
+            f"  block size: {params['block_size']} B",
+            f"  memory latency (64 B block): {params['memory_latency']} cycles "
+            f"(130 + 4/8B)",
+            f"  flit: {params['flit_size_bits']} bits; "
+            f"{params['vcs_per_pc']} VCs x {params['flit_buffer']} flits per PC",
+            f"  packets: control {params['control_packet_flits']} flit, "
+            f"block {params['data_packet_flits']} flits",
+        ]
+    )
+    table = format_table(
+        ["bank", "tile mm", "wire cyc (Table 1)", "wire cyc (RC model)",
+         "tag cyc", "tag+repl cyc"],
+        [
+            (
+                f"{bank['capacity'] // 1024}KB",
+                bank["tile_side_mm"],
+                bank["table1_wire_delay"],
+                bank["model_wire_delay"],
+                bank["tag_latency"],
+                bank["tag_replace_latency"],
+            )
+            for bank in params["banks"]
+        ],
+    )
+    return f"{header}\n{table}"

@@ -1,0 +1,60 @@
+"""Table 4: area analysis of network designs A, B, E, F (plus C, D).
+
+Reproduces the bank/router/link percentage split, the L2 area, and the
+minimal chip area from the analytic models of :mod:`repro.area`.
+"""
+
+from __future__ import annotations
+
+from repro.area.floorplan import DesignArea, FloorPlanner
+from repro.core.designs import DESIGN_NAMES, design_spec
+from repro.experiments.report import format_table
+
+#: The paper's Table 4 (design -> bank %, router %, link %, L2, chip mm2).
+PAPER_TABLE4 = {
+    "A": (47.8, 20.8, 31.4, 567.70, 567.70),
+    "B": (58.4, 13.0, 28.6, 464.60, 521.99),
+    "E": (67.5, 14.1, 18.4, 402.30, 1602.22),
+    "F": (78.7, 5.7, 15.7, 312.19, 517.61),
+}
+
+
+def run(designs: tuple = DESIGN_NAMES) -> dict[str, DesignArea]:
+    planner = FloorPlanner()
+    return {key: planner.design_area(design_spec(key)) for key in designs}
+
+
+def interconnect_ratio(areas: dict[str, DesignArea]) -> float:
+    """Design F's interconnect area relative to Design A's (paper: ~23 %)."""
+    a = areas["A"]
+    f = areas["F"]
+    return (f.router_mm2 + f.link_mm2) / (a.router_mm2 + a.link_mm2)
+
+
+def render(areas: dict[str, DesignArea]) -> str:
+    rows = []
+    for key, area in areas.items():
+        row = area.as_row()
+        rows.append(
+            [
+                key,
+                row["bank %"],
+                row["router %"],
+                row["link %"],
+                row["L2 area (mm2)"],
+                row["chip area (mm2)"],
+            ]
+        )
+        if key in PAPER_TABLE4:
+            rows.append(["  (paper)", *PAPER_TABLE4[key]])
+    table = format_table(
+        ["design", "bank %", "router %", "link %", "L2 (mm2)", "chip (mm2)"],
+        rows,
+        title="Table 4: area analysis of network designs",
+    )
+    ratio = interconnect_ratio(areas)
+    return (
+        f"{table}\n"
+        f"Design F interconnect area = {ratio:.0%} of Design A's "
+        f"(paper: ~23%)"
+    )

@@ -1,0 +1,278 @@
+"""Cycle-accurate flit-level network simulator.
+
+Ties :class:`~repro.noc.router.Router` instances together over a
+:class:`~repro.noc.topology.Topology`, moves flits across links with their
+wire delays, tracks injection queues, and records per-packet delivery
+statistics. One :meth:`Network.step` is one clock cycle.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+
+from repro.config import RouterConfig
+from repro.errors import SimulationError
+from repro.noc.flit import Flit
+from repro.noc.packet import Packet
+from repro.noc.router import EJECT, INJECT, Router
+from repro.noc.routing import RouteComputer, routing_for
+from repro.noc.topology import NodeId, Topology
+
+
+@dataclass
+class Delivery:
+    """One completed (packet, destination) delivery."""
+
+    packet: Packet
+    destination: NodeId
+    injected_at: int
+    delivered_at: int
+    hops: int
+
+    @property
+    def latency(self) -> int:
+        return self.delivered_at - self.injected_at
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate statistics of a simulation run."""
+
+    cycles: int = 0
+    packets_injected: int = 0
+    flits_injected: int = 0
+    deliveries: list[Delivery] = field(default_factory=list)
+
+    @property
+    def packets_delivered(self) -> int:
+        return len(self.deliveries)
+
+    @property
+    def average_latency(self) -> float:
+        if not self.deliveries:
+            return 0.0
+        return sum(d.latency for d in self.deliveries) / len(self.deliveries)
+
+    @property
+    def max_latency(self) -> int:
+        return max((d.latency for d in self.deliveries), default=0)
+
+    @property
+    def average_hops(self) -> float:
+        if not self.deliveries:
+            return 0.0
+        return sum(d.hops for d in self.deliveries) / len(self.deliveries)
+
+
+class Network:
+    """A complete flit-level on-chip network instance."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: RouteComputer | None = None,
+        router_config: RouterConfig | None = None,
+    ) -> None:
+        self.topology = topology
+        self.routing = routing or routing_for(topology)
+        self.router_config = router_config or RouterConfig()
+        self.routers: dict[NodeId, Router] = {
+            node: Router(node, topology, self.routing, self.router_config)
+            for node in topology.nodes
+        }
+        for router in self.routers.values():
+            router.connect(self.routers)
+
+        self.cycle = 0
+        self.stats = NetworkStats()
+        #: cycle -> list of (node, in_port, vc_index, flit) arrivals
+        self._arrivals: dict[int, list] = defaultdict(list)
+        #: per-router FIFO of packets waiting to enter the inject port
+        self._inject_queues: dict[NodeId, deque] = defaultdict(deque)
+        #: cycle -> [(packet, node)] future injections (protocol timing)
+        self._timed_injections: dict[int, list] = defaultdict(list)
+        #: (node, packet) -> flits remaining to inject
+        self._inject_progress: dict[tuple[NodeId, int], deque] = {}
+        #: (packet_id, destination) -> flits still to eject there
+        self._pending_ejects: dict[tuple[int, NodeId], int] = {}
+        self._eject_meta: dict[tuple[int, NodeId], Packet] = {}
+        self._delivered_callbacks: list = []
+
+    # -- client API ---------------------------------------------------------
+
+    def on_delivery(self, callback) -> None:
+        """Register ``callback(delivery)`` fired on each packet delivery."""
+        self._delivered_callbacks.append(callback)
+
+    def schedule_injection(
+        self, packet: Packet, at_cycle: int, node: NodeId | None = None
+    ) -> None:
+        """Queue *packet* for injection at a future cycle (e.g. after a
+        bank's tag-match latency in a protocol simulation)."""
+        if at_cycle < self.cycle:
+            raise SimulationError(
+                f"cannot inject at {at_cycle}; current cycle is {self.cycle}"
+            )
+        self._timed_injections[at_cycle].append((packet, node))
+
+    def inject(self, packet: Packet, node: NodeId | None = None) -> None:
+        """Queue *packet* for injection at *node* (default: its source)."""
+        node = packet.source if node is None else node
+        if node not in self.routers:
+            raise SimulationError(f"injection node {node} not in topology")
+        packet.created_at = self.cycle
+        self._inject_queues[node].append(packet)
+        self.stats.packets_injected += 1
+        for destination in packet.destinations:
+            key = (packet.packet_id, destination)
+            self._pending_ejects[key] = packet.num_flits
+            self._eject_meta[key] = packet
+
+    def step(self) -> None:
+        """Advance the network one clock cycle."""
+        cycle = self.cycle
+        for packet, node in self._timed_injections.pop(cycle, ()):
+            self.inject(packet, node)
+        self._deliver_arrivals(cycle)
+        self._inject_phase(cycle)
+        for router in self.routers.values():
+            router.replication_phase(cycle)
+        for node, router in self.routers.items():
+            for forward in router.switch_phase(cycle):
+                self._handle_forward(node, forward, cycle)
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    def run_until_drained(self, max_cycles: int = 100_000) -> int:
+        """Step until every injected packet has been fully delivered.
+
+        Returns the cycle count consumed. Raises if the network fails to
+        drain within *max_cycles* (e.g. a deadlock or livelock).
+        """
+        start = self.cycle
+        while self._pending_ejects or self._inject_queues_nonempty():
+            if self.cycle - start >= max_cycles:
+                raise SimulationError(
+                    f"network did not drain within {max_cycles} cycles; "
+                    f"{len(self._pending_ejects)} deliveries outstanding"
+                )
+            self.step()
+        return self.cycle - start
+
+    def idle(self) -> bool:
+        """True when no flit is buffered, in flight, or awaiting injection."""
+        return (
+            not self._pending_ejects
+            and not self._inject_queues_nonempty()
+            and not self._arrivals
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _inject_queues_nonempty(self) -> bool:
+        return (
+            any(self._inject_queues.values())
+            or bool(self._inject_progress)
+            or bool(self._timed_injections)
+        )
+
+    def _deliver_arrivals(self, cycle: int) -> None:
+        for node, in_port, vc_index, flit in self._arrivals.pop(cycle, ()):  # noqa: B020
+            router = self.routers[node]
+            flit.eligible_at = cycle + (self.router_config.hop_latency - 1)
+            router.inputs[in_port][vc_index].push(flit)
+
+    def _inject_phase(self, cycle: int) -> None:
+        """Move at most one flit per router from its inject queue to a VC."""
+        for node, queue in self._inject_queues.items():
+            router = self.routers[node]
+            progressed = False
+            # Continue partially injected packets first (wormhole order).
+            for key, flits in list(self._inject_progress.items()):
+                if key[0] != node:
+                    continue
+                vc = flits[0][1]
+                flit = flits[0][0]
+                if vc.has_space:
+                    flits.popleft()
+                    flit.eligible_at = cycle + (self.router_config.hop_latency - 1)
+                    vc.push(flit)
+                    self.stats.flits_injected += 1
+                    progressed = True
+                if not flits:
+                    del self._inject_progress[key]
+                if progressed:
+                    break
+            if progressed or not queue:
+                continue
+            packet = queue[0]
+            unit = router.inputs[INJECT]
+            free = next((vc for vc in unit if vc.is_free), None)
+            if free is None:
+                continue
+            queue.popleft()
+            flits = packet.flits()
+            head = flits[0]
+            head.injected_at = cycle
+            for flit in flits:
+                flit.injected_at = cycle
+            head.eligible_at = cycle + (self.router_config.hop_latency - 1)
+            free.push(head)
+            self.stats.flits_injected += 1
+            if len(flits) > 1:
+                self._inject_progress[(node, packet.packet_id)] = deque(
+                    (flit, free) for flit in flits[1:]
+                )
+
+    def _handle_forward(self, node: NodeId, forward, cycle: int) -> None:
+        flit = forward.flit
+        if forward.out_port == EJECT:
+            self._eject(node, flit, cycle)
+            return
+        wire_delay = self.topology.channel(node, forward.out_port).wire_delay
+        arrival = cycle + wire_delay + 1
+        self._arrivals[arrival].append(
+            (forward.out_port, node, forward.out_vc, flit)
+        )
+
+    def _eject(self, node: NodeId, flit: Flit, cycle: int) -> None:
+        flit.ejected_at = cycle + 1  # crossing the ejection channel
+        for destination in flit.destinations or (node,):
+            key = (flit.packet.packet_id, destination)
+            if key not in self._pending_ejects:
+                raise SimulationError(
+                    f"unexpected ejection of packet {flit.packet.packet_id} "
+                    f"at {destination}"
+                )
+            self._pending_ejects[key] -= 1
+            if self._pending_ejects[key] == 0:
+                del self._pending_ejects[key]
+                packet = self._eject_meta.pop(key)
+                delivery = Delivery(
+                    packet=packet,
+                    destination=destination,
+                    injected_at=flit.injected_at or packet.created_at,
+                    delivered_at=flit.ejected_at,
+                    hops=flit.hops,
+                )
+                self.stats.deliveries.append(delivery)
+                for callback in self._delivered_callbacks:
+                    callback(delivery)
+
+    # -- aggregate inspection ---------------------------------------------
+
+    def total_buffered_flits(self) -> int:
+        return sum(router.buffered_flits() for router in self.routers.values())
+
+    def total_replications(self) -> int:
+        return sum(r.stats.replications for r in self.routers.values())
+
+    def total_replication_blocked(self) -> int:
+        return sum(
+            r.stats.replication_blocked_cycles for r in self.routers.values()
+        )

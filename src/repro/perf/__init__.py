@@ -1,0 +1,6 @@
+"""Performance modeling: issue/stall model and latency statistics."""
+
+from repro.perf.ipc import IssueModel
+from repro.perf.metrics import LatencyAccumulator, LatencyStats
+
+__all__ = ["IssueModel", "LatencyAccumulator", "LatencyStats"]

@@ -1,0 +1,28 @@
+"""Energy model of the networked cache (the paper's future-work item).
+
+Section 7 names energy analysis and an "on-demand power control scheme
+that can dynamically turn on/off a subset of cache systems" as future
+work; this package implements both:
+
+* :mod:`repro.power.params` -- per-event energies at 65 nm (bank access by
+  capacity, router/link traversal per flit, memory access) and per-mm^2
+  leakage;
+* :mod:`repro.power.meter` -- post-run energy accounting over a
+  :class:`~repro.core.system.NetworkedCacheSystem`'s resource counters;
+* :mod:`repro.power.gating` -- on-demand bank gating: banks idle longer
+  than a threshold are powered off and pay a wake-up penalty on the next
+  access, trading leakage for latency.
+"""
+
+from repro.power.gating import GatingPolicy, GatingReport, simulate_gating
+from repro.power.meter import EnergyMeter, EnergyReport
+from repro.power.params import EnergyParams
+
+__all__ = [
+    "EnergyParams",
+    "EnergyMeter",
+    "EnergyReport",
+    "GatingPolicy",
+    "GatingReport",
+    "simulate_gating",
+]

@@ -1,0 +1,73 @@
+"""Per-event energy parameters at 65 nm.
+
+Constants are Cacti/Orion-flavored ballpark figures for a 65 nm process
+at 5 GHz; what matters for the paper-style comparisons is their *ratios*
+(bank accesses vs network traversals vs off-chip transfers), which follow
+the usual order: an off-chip access costs ~three orders of magnitude more
+than a flit hop, and bank access energy grows sub-linearly with capacity
+like its area does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Energy per event (picojoules) and leakage (milliwatts per mm^2)."""
+
+    #: Reading or writing one 64 KB bank once.
+    bank_access_64kb_pj: float = 120.0
+    #: Bank energy grows with capacity^exponent (bitline/wordline lengths).
+    bank_capacity_exponent: float = 0.55
+    #: One flit through one router (buffer write+read, arbitration, xbar).
+    router_flit_pj: float = 5.2
+    #: One flit over one mm of repeated global wire.
+    link_flit_pj_per_mm: float = 1.9
+    #: One 64 B block moved to/from off-chip memory.
+    memory_access_pj: float = 15_000.0
+    #: Leakage power density of SRAM-dominated area.
+    leakage_mw_per_mm2: float = 1.1
+    #: Energy to wake a gated bank (charging sleep transistors, restoring
+    #: peripheral state).
+    bank_wake_pj: float = 900.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "bank_access_64kb_pj",
+            "router_flit_pj",
+            "link_flit_pj_per_mm",
+            "memory_access_pj",
+            "leakage_mw_per_mm2",
+            "bank_wake_pj",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if not 0 < self.bank_capacity_exponent <= 1:
+            raise ConfigurationError("bank_capacity_exponent must be in (0, 1]")
+
+    def bank_access_pj(self, capacity_bytes: int) -> float:
+        """Dynamic energy of one access to a bank of *capacity_bytes*."""
+        if capacity_bytes <= 0:
+            raise ConfigurationError("capacity must be positive")
+        scale = (capacity_bytes / (64 * KB)) ** self.bank_capacity_exponent
+        return self.bank_access_64kb_pj * scale
+
+    def link_flit_pj(self, length_mm: float) -> float:
+        """Dynamic energy of one flit over a *length_mm* link."""
+        if length_mm < 0:
+            raise ConfigurationError("length must be non-negative")
+        return self.link_flit_pj_per_mm * length_mm
+
+    def leakage_pj(self, area_mm2: float, cycles: int,
+                   frequency_ghz: float = 5.0) -> float:
+        """Leakage energy of *area_mm2* powered for *cycles* core cycles."""
+        if area_mm2 < 0 or cycles < 0:
+            raise ConfigurationError("area and cycles must be non-negative")
+        seconds = cycles / (frequency_ghz * 1e9)
+        return self.leakage_mw_per_mm2 * area_mm2 * seconds * 1e9  # mW*s -> pJ

@@ -1,0 +1,18 @@
+"""Deterministic discrete-event simulation kernel.
+
+This is the substrate under both simulators in the package: the flit-level
+network simulator ticks a cycle process on it, and the transaction-level
+cache simulator schedules protocol events on it directly.
+"""
+
+from repro.sim.kernel import Event, EventQueue, Simulator
+from repro.sim.resource import FloorClock, OccupancyTracker, Resource
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Resource",
+    "OccupancyTracker",
+    "FloorClock",
+]

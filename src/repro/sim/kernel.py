@@ -1,0 +1,132 @@
+"""Event queue and simulator loop.
+
+The kernel is deliberately minimal and fully deterministic: events that are
+scheduled for the same time fire in the order they were scheduled (FIFO
+within a timestamp), which keeps runs reproducible regardless of callback
+content.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordered by ``(time, sequence)`` so same-time events preserve scheduling
+    order. ``cancelled`` events stay in the heap but are skipped when popped.
+    """
+
+    time: int
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent this event from firing. Idempotent."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A time-ordered queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time: int, callback: Callable[[], Any]) -> Event:
+        """Schedule *callback* at absolute *time* and return its event."""
+        event = Event(time=time, sequence=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest live event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> int | None:
+        """Time of the earliest live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+
+class Simulator:
+    """Discrete-event simulator with integer (cycle) time."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self.now = 0
+        self._running = False
+
+    def schedule(self, delay: int, callback: Callable[[], Any]) -> Event:
+        """Schedule *callback* to run *delay* cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self._queue.push(self.now + delay, callback)
+
+    def schedule_at(self, time: int, callback: Callable[[], Any]) -> Event:
+        """Schedule *callback* at absolute cycle *time* (>= now)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self.now}"
+            )
+        return self._queue.push(time, callback)
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still queued."""
+        return len(self._queue)
+
+    def step(self) -> bool:
+        """Run the earliest event; return ``False`` if the queue was empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self.now:
+            raise SimulationError("event queue returned an event from the past")
+        self.now = event.time
+        event.callback()
+        return True
+
+    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+        """Drain the event queue.
+
+        Stops when the queue empties, when the next event would fire after
+        *until*, or after *max_events* events. Returns the number of events
+        executed. ``until`` is inclusive.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+        return executed

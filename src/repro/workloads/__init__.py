@@ -1,0 +1,25 @@
+"""Synthetic SPEC2000-like L2 workloads (substitution for sim-alpha traces).
+
+Each benchmark of Table 2 becomes a :class:`BenchmarkProfile` carrying the
+paper's measured statistics plus locality parameters (footprint, Zipf skew,
+streaming fraction) that put the synthetic trace in the same hit-rate and
+reuse regime the paper describes.
+"""
+
+from repro.workloads.profiles import (
+    BENCHMARKS,
+    BenchmarkProfile,
+    profile_by_name,
+)
+from repro.workloads.trace import Trace, TraceAccess
+from repro.workloads.generator import TraceGenerator, generate_trace
+
+__all__ = [
+    "BenchmarkProfile",
+    "BENCHMARKS",
+    "profile_by_name",
+    "Trace",
+    "TraceAccess",
+    "TraceGenerator",
+    "generate_trace",
+]

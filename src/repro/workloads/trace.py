@@ -1,0 +1,63 @@
+"""Trace containers: the unit of exchange between workloads and the cache.
+
+A trace is an ordered sequence of L2 accesses. Each access carries the
+32-bit address, whether it is a write, and how many instructions retired
+since the previous access (which paces the issue model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True)
+class TraceAccess:
+    """One L2 access."""
+
+    address: int
+    is_write: bool
+    gap_instructions: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.address < (1 << 32):
+            raise TraceError(f"address {self.address:#x} is not 32-bit")
+        if self.gap_instructions < 0:
+            raise TraceError("gap_instructions must be non-negative")
+
+
+class Trace:
+    """An immutable list of accesses with summary helpers."""
+
+    def __init__(self, accesses: Iterable[TraceAccess], name: str = "trace") -> None:
+        self._accesses = tuple(accesses)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._accesses)
+
+    def __iter__(self) -> Iterator[TraceAccess]:
+        return iter(self._accesses)
+
+    def __getitem__(self, i: int) -> TraceAccess:
+        return self._accesses[i]
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(access.gap_instructions for access in self._accesses)
+
+    @property
+    def write_count(self) -> int:
+        return sum(1 for access in self._accesses if access.is_write)
+
+    @property
+    def read_count(self) -> int:
+        return len(self) - self.write_count
+
+    def distinct_blocks(self, offset_bits: int = 6) -> int:
+        return len({access.address >> offset_bits for access in self._accesses})
+
+    def slice(self, start: int, stop: int | None = None) -> "Trace":
+        return Trace(self._accesses[start:stop], name=f"{self.name}[{start}:{stop}]")

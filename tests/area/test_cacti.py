@@ -1,0 +1,54 @@
+"""Unit tests for the Cacti-style bank area model."""
+
+import pytest
+
+from repro.area import BankAreaModel
+from repro.errors import ConfigurationError
+
+KB = 1024
+
+
+class TestBankAreaModel:
+    def test_calibrated_64kb_area(self):
+        model = BankAreaModel()
+        # 256 banks must total ~271 mm^2 (47.8% of Design A's 567.7).
+        assert 256 * model.area_mm2(64 * KB) == pytest.approx(271, rel=0.02)
+
+    def test_area_grows_with_capacity(self):
+        model = BankAreaModel()
+        areas = [model.area_mm2(c * KB) for c in (64, 128, 256, 512)]
+        assert areas == sorted(areas)
+
+    def test_sublinear_scaling(self):
+        model = BankAreaModel()
+        # Doubling capacity less than doubles area.
+        assert model.area_mm2(128 * KB) < 2 * model.area_mm2(64 * KB)
+
+    def test_density_improves_with_capacity(self):
+        model = BankAreaModel()
+        assert model.density_mb_per_mm2(512 * KB) > model.density_mb_per_mm2(64 * KB)
+
+    def test_non_uniform_column_denser_than_uniform(self):
+        model = BankAreaModel()
+        uniform = 16 * model.area_mm2(64 * KB)
+        non_uniform = (
+            2 * model.area_mm2(64 * KB)
+            + model.area_mm2(128 * KB)
+            + model.area_mm2(256 * KB)
+            + model.area_mm2(512 * KB)
+        )
+        assert non_uniform < uniform
+
+    def test_access_latency_lookup(self):
+        assert BankAreaModel.access_latency(64 * KB) == 2
+        assert BankAreaModel.access_latency(64 * KB, replace=True) == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            BankAreaModel().area_mm2(0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            BankAreaModel(area_64kb_mm2=0)
+        with pytest.raises(ConfigurationError):
+            BankAreaModel(capacity_exponent=1.5)

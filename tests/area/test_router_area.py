@@ -1,0 +1,39 @@
+"""Unit tests for the router area model."""
+
+import pytest
+
+from repro.area import RouterAreaModel
+from repro.errors import ConfigurationError
+
+
+class TestRouterAreaModel:
+    def test_simplification_ratio_is_48_percent(self):
+        # Section 6.3: the 3-port router is 48% of the 5-port router.
+        assert RouterAreaModel().simplification_ratio == pytest.approx(0.48, abs=0.01)
+
+    def test_full_router_calibration(self):
+        # 256 routers at ~0.46 mm^2 = ~118 mm^2 (20.8% of Design A).
+        assert 256 * RouterAreaModel().full_router_area == pytest.approx(118, rel=0.02)
+
+    def test_area_grows_with_ports(self):
+        model = RouterAreaModel()
+        areas = [model.router_area(p) for p in (2, 3, 4, 5)]
+        assert areas == sorted(areas)
+
+    def test_crossbar_quadratic_in_ports(self):
+        model = RouterAreaModel()
+        assert model.crossbar_area(10) == pytest.approx(4 * model.crossbar_area(5))
+
+    def test_buffer_linear_in_ports(self):
+        model = RouterAreaModel()
+        assert model.buffer_area(10) == pytest.approx(2 * model.buffer_area(5))
+
+    def test_asymmetric_crossbar(self):
+        model = RouterAreaModel()
+        assert model.crossbar_area(3, 5) == pytest.approx(
+            model.crossbar_area(5, 3)
+        )
+
+    def test_invalid_ports(self):
+        with pytest.raises(ConfigurationError):
+            RouterAreaModel().router_area(0)

@@ -1,0 +1,53 @@
+"""Unit tests for the RC wire-delay model."""
+
+import pytest
+
+from repro.area import FloorPlanner, WireModel
+from repro.config import BankTiming, supported_bank_capacities
+from repro.errors import ConfigurationError
+
+
+class TestWireModel:
+    def test_delay_linear_in_length(self):
+        wire = WireModel()
+        assert wire.delay_ps(2.0) == pytest.approx(2 * wire.delay_ps(1.0))
+
+    def test_reproduces_table1_wire_cycles(self):
+        """The calibrated RC model + tile sizes land exactly on Table 1."""
+        wire = WireModel()
+        planner = FloorPlanner()
+        for capacity in supported_bank_capacities():
+            side = planner.tile_side(capacity, 3)
+            assert wire.cycles(side) == BankTiming.for_capacity(capacity).wire_delay
+
+    def test_cycles_round_up(self):
+        wire = WireModel()
+        # 160 ps/mm at 5 GHz (200 ps/cycle): 1 mm -> 1 cycle, 2 mm -> 2.
+        assert wire.cycles(1.0) == 1
+        assert wire.cycles(2.0) == 2
+
+    def test_zero_length_is_free(self):
+        assert WireModel().cycles(0) == 0
+
+    def test_minimum_one_cycle(self):
+        assert WireModel().cycles(0.01) == 1
+
+    def test_unrepeated_is_quadratic(self):
+        wire = WireModel()
+        assert wire.unrepeated_delay_ps(2.0) == pytest.approx(
+            4 * wire.unrepeated_delay_ps(1.0)
+        )
+
+    def test_repeaters_beat_unrepeated_for_long_wires(self):
+        wire = WireModel()
+        assert wire.delay_ps(20.0) < wire.unrepeated_delay_ps(20.0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WireModel().delay_ps(-1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WireModel(r_per_mm=0)
+        with pytest.raises(ConfigurationError):
+            WireModel(frequency_ghz=-5)

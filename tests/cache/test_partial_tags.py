@@ -1,0 +1,83 @@
+"""Unit tests for partial-tag early miss detection."""
+
+import pytest
+
+from repro.cache.bankset import BankSetState
+from repro.cache.partial_tags import PartialTagConfig, PartialTagStore
+from repro.errors import ConfigurationError
+
+
+def _state_with(tags):
+    state = BankSetState(list(range(16)))
+    for tag in tags:
+        state.fill_front(tag)
+    return state
+
+
+class TestPartialTagConfig:
+    def test_storage_cost(self):
+        config = PartialTagConfig(bits=6)
+        # 6 bits x 16K sets x 16 ways = 192 KiB
+        assert config.storage_kib(16 * 1024, 16) == pytest.approx(192.0)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ConfigurationError):
+            PartialTagConfig(bits=0)
+        with pytest.raises(ConfigurationError):
+            PartialTagConfig(bits=13)
+
+
+class TestPartialTagStore:
+    def test_no_false_negatives(self):
+        """A resident tag can never be declared a guaranteed miss."""
+        store = PartialTagStore()
+        state = _state_with(range(100, 116))
+        for tag in range(100, 116):
+            assert not store.is_guaranteed_miss(state, tag, actual_hit=True)
+
+    def test_detects_clear_miss(self):
+        store = PartialTagStore(PartialTagConfig(bits=6))
+        state = _state_with([0])  # partial tag 0
+        assert store.is_guaranteed_miss(state, 1, actual_hit=False)
+        assert store.early_misses == 1
+
+    def test_false_positive_counted(self):
+        store = PartialTagStore(PartialTagConfig(bits=6))
+        state = _state_with([0])
+        # Tag 64 aliases tag 0 in the low 6 bits: partial match, true miss.
+        assert not store.is_guaranteed_miss(state, 64, actual_hit=False)
+        assert store.false_positives == 1
+
+    def test_rates_and_reset(self):
+        store = PartialTagStore()
+        state = _state_with([0])
+        store.is_guaranteed_miss(state, 1, actual_hit=False)
+        store.is_guaranteed_miss(state, 0, actual_hit=True)
+        assert store.early_miss_rate == pytest.approx(0.5)
+        store.reset()
+        assert store.lookups == 0
+
+    def test_empty_set_always_guaranteed_miss(self):
+        store = PartialTagStore()
+        state = BankSetState(list(range(16)))
+        assert store.is_guaranteed_miss(state, 42, actual_hit=False)
+
+
+class TestSystemIntegration:
+    def test_early_misses_speed_up_misses(self):
+        from repro.core.system import NetworkedCacheSystem
+        from repro.workloads import TraceGenerator, profile_by_name
+
+        profile = profile_by_name("mcf")
+        trace, warmup = TraceGenerator(profile, seed=3).generate_with_warmup(
+            measure=300
+        )
+        plain = NetworkedCacheSystem(design="A", scheme="unicast+lru")
+        early = NetworkedCacheSystem(design="A", scheme="unicast+lru",
+                                     early_miss_detection=True)
+        result_plain = plain.run(trace, profile, warmup=warmup)
+        result_early = early.run(trace, profile, warmup=warmup)
+        assert early.partial_tags.early_misses > 0
+        assert result_early.ipc >= result_plain.ipc
+        # Contents are unaffected by the shortcut.
+        assert result_early.hit_rate == result_plain.hit_rate

@@ -1,0 +1,20 @@
+"""Shared test fixtures."""
+
+import pytest
+
+from repro.cache.address import AddressMapper
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.fixture
+def mapper() -> AddressMapper:
+    return AddressMapper()
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> ExperimentConfig:
+    """A config small enough for per-test experiment runs."""
+    return ExperimentConfig(
+        measure=400,
+        benchmarks=("art", "twolf", "mcf"),
+    )

@@ -1,0 +1,82 @@
+"""Unit tests for the Table-3 design specifications."""
+
+import pytest
+
+from repro.core.designs import DESIGN_NAMES, design_spec, make_design
+from repro.errors import ConfigurationError
+from repro.noc.topology import HaloTopology, MeshTopology, SimplifiedMeshTopology
+
+
+class TestDesignTable:
+    def test_six_designs(self):
+        assert DESIGN_NAMES == ("A", "B", "C", "D", "E", "F")
+
+    @pytest.mark.parametrize("key", DESIGN_NAMES)
+    def test_all_are_16mb(self, key):
+        assert design_spec(key).total_capacity == 16 * 1024 * 1024
+
+    @pytest.mark.parametrize("key", DESIGN_NAMES)
+    def test_all_are_16_way(self, key):
+        geometry = make_design(key)
+        assert sum(d.ways for d in geometry.columns[0]) == 16
+
+    def test_lookup_case_insensitive(self):
+        assert design_spec("f").key == "F"
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ConfigurationError):
+            design_spec("G")
+
+
+class TestTopologyFamilies:
+    def test_design_a_full_mesh(self):
+        topology = design_spec("A").topology_factory()
+        assert isinstance(topology, MeshTopology)
+        assert not isinstance(topology, SimplifiedMeshTopology)
+        assert (topology.cols, topology.rows) == (16, 16)
+
+    @pytest.mark.parametrize("key, rows", [("B", 16), ("C", 4), ("D", 5)])
+    def test_simplified_meshes(self, key, rows):
+        topology = design_spec(key).topology_factory()
+        assert isinstance(topology, SimplifiedMeshTopology)
+        assert topology.rows == rows
+
+    @pytest.mark.parametrize("key, length", [("E", 16), ("F", 5)])
+    def test_halos(self, key, length):
+        topology = design_spec(key).topology_factory()
+        assert isinstance(topology, HaloTopology)
+        assert topology.spike_length == length
+        assert topology.num_spikes == 16
+
+    def test_memory_next_to_core_in_b(self):
+        topology = design_spec("B").topology_factory()
+        assert topology.memory_attach == (9, 0)
+        assert topology.core_attach == (8, 0)
+
+    def test_design_d_wire_delays(self):
+        topology = design_spec("D").topology_factory()
+        # Horizontal pinned to the 512KB delay.
+        assert topology.channel((0, 0), (1, 0)).wire_delay == 3
+        # Vertical grows down the column: 64KB -> 512KB.
+        assert topology.channel((0, 0), (0, 1)).wire_delay == 1
+        assert topology.channel((0, 3), (0, 4)).wire_delay == 3
+
+    @pytest.mark.parametrize("key, pin", [("A", 0), ("B", 0), ("E", 16), ("F", 9)])
+    def test_memory_pin_delays(self, key, pin):
+        assert design_spec(key).build().memory_pin_delay == pin
+
+
+class TestBankOrganization:
+    def test_design_c_four_way_banks(self):
+        geometry = make_design("C")
+        assert [d.ways for d in geometry.columns[0]] == [4, 4, 4, 4]
+
+    @pytest.mark.parametrize("key", ["D", "F"])
+    def test_non_uniform_columns(self, key):
+        geometry = make_design(key)
+        capacities = [d.capacity_bytes for d in geometry.columns[0]]
+        assert capacities == [65536, 65536, 131072, 262144, 524288]
+
+    def test_uniform_flag(self):
+        assert design_spec("A").uniform
+        assert not design_spec("D").uniform

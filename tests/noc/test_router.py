@@ -1,0 +1,170 @@
+"""Microarchitectural unit tests for the single-cycle multicast router."""
+
+import pytest
+
+from repro.config import RouterConfig
+from repro.errors import ProtocolError
+from repro.noc import MeshTopology, MessageType, Network, Packet
+from repro.noc.router import EJECT, INJECT
+
+
+def _network(cols=3, rows=3, **router_kwargs):
+    return Network(
+        MeshTopology(cols, rows),
+        router_config=RouterConfig(**router_kwargs),
+    )
+
+
+def _router(network, node):
+    return network.routers[node]
+
+
+class TestPorts:
+    def test_input_ports_are_neighbors_plus_inject(self):
+        network = _network()
+        router = _router(network, (1, 1))
+        assert set(router.inputs) == {(0, 1), (2, 1), (1, 0), (1, 2), INJECT}
+
+    def test_output_ports_are_neighbors_plus_eject(self):
+        network = _network()
+        router = _router(network, (0, 0))
+        assert set(router.out_ports) == {(1, 0), (0, 1), EJECT}
+
+    def test_credits_initialized_to_buffer_depth(self):
+        network = _network(buffer_depth=4)
+        router = _router(network, (1, 1))
+        assert all(credit == 4 for credit in router.credits.values())
+
+
+class TestCreditFlow:
+    def test_credits_consumed_and_returned(self):
+        network = _network()
+        network.inject(Packet(MessageType.REPLACEMENT, source=(0, 0),
+                              destinations=((2, 0),)))
+        # Run a few cycles: credits must never exceed depth nor go negative.
+        for _ in range(30):
+            network.step()
+            for router in network.routers.values():
+                for credit in router.credits.values():
+                    assert 0 <= credit <= 4
+        network.run_until_drained()
+        # Fully drained: every credit restored.
+        for router in network.routers.values():
+            assert all(credit == 4 for credit in router.credits.values())
+
+    def test_buffers_never_exceed_depth(self):
+        network = _network(buffer_depth=2)
+        for i in range(10):
+            network.inject(Packet(MessageType.REPLACEMENT, source=(0, 0),
+                                  destinations=((2, 2),)))
+        while not network.idle():
+            network.step()
+            for router in network.routers.values():
+                for unit in router.inputs.values():
+                    for vc in unit:
+                        assert vc.occupancy <= 2
+
+
+class TestReplication:
+    def test_multicast_split_consumes_other_pc_vc(self):
+        network = _network()
+        destinations = tuple((1, y) for y in range(3))
+        network.inject(Packet(MessageType.READ_REQUEST, source=(1, 0),
+                              destinations=destinations))
+        network.run_until_drained()
+        replications = network.total_replications()
+        assert replications == 2  # split at (1,0) and (1,1)
+
+    def test_multi_flit_multicast_rejected_at_replication(self):
+        # The Packet constructor already refuses; build the bad flit by
+        # hand to exercise the router's own guard.
+        network = _network()
+        router = _router(network, (1, 1))
+        packet = Packet(MessageType.READ_REQUEST, source=(1, 1),
+                        destinations=((1, 2), (2, 1)))
+        flits = Packet(MessageType.REPLACEMENT, source=(1, 1),
+                       destinations=((1, 2),)).flits()
+        head = flits[0]
+        head.destinations = ((1, 1), (1, 2))  # force a multicast body worm
+        vc = router.inputs[INJECT][0]
+        vc.push(head)
+        with pytest.raises(ProtocolError, match="single-flit"):
+            router.replication_phase(0)
+
+    def test_blocked_replication_retries(self):
+        network = _network(num_vcs=1, buffer_depth=1)
+        # Saturate the target router's VCs with other traffic, then send a
+        # multicast through it; the router must block and retry, and the
+        # network must still drain.
+        for _ in range(3):
+            network.inject(Packet(MessageType.READ_REQUEST, source=(0, 0),
+                                  destinations=((0, 2),)))
+        network.inject(Packet(
+            MessageType.READ_REQUEST,
+            source=(0, 0),
+            destinations=tuple((0, y) for y in range(3)),
+        ))
+        network.run_until_drained()
+        assert network.stats.packets_delivered == 3 + 3
+
+
+class TestArbitration:
+    def test_output_conflict_serializes(self):
+        network = _network()
+        # Two packets from different inputs competing for the same output.
+        network.inject(Packet(MessageType.READ_REQUEST, source=(0, 1),
+                              destinations=((2, 1),)))
+        network.inject(Packet(MessageType.READ_REQUEST, source=(1, 0),
+                              destinations=((1, 2),)))
+        network.run_until_drained()
+        assert network.stats.packets_delivered == 2
+
+    def test_switch_conflicts_counted_under_contention(self):
+        network = _network()
+        for _ in range(8):
+            network.inject(Packet(MessageType.READ_REQUEST, source=(0, 1),
+                                  destinations=((2, 1),)))
+            network.inject(Packet(MessageType.READ_REQUEST, source=(1, 0),
+                                  destinations=((1, 2),)))
+        network.run_until_drained()
+        conflicts = sum(
+            r.stats.switch_conflicts for r in network.routers.values()
+        )
+        assert conflicts >= 0  # counter exists and never goes negative
+
+
+class TestIntrospection:
+    def test_uncontended_single_cycle_router_bypasses_buffers(self):
+        # Buffer bypassing: with no contention a flit never waits in a VC
+        # between cycles, so inter-step occupancy stays zero.
+        network = _network()
+        network.inject(Packet(MessageType.REPLACEMENT, source=(0, 0),
+                              destinations=((2, 2),)))
+        for _ in range(12):
+            network.step()
+            assert sum(
+                r.buffered_flits() for r in network.routers.values()
+            ) == 0
+        network.run_until_drained()
+
+    def test_contention_fills_buffers_then_drains(self):
+        network = _network()
+        # Two wormholes colliding on the same path must queue in VCs.
+        for _ in range(4):
+            network.inject(Packet(MessageType.REPLACEMENT, source=(0, 0),
+                                  destinations=((2, 2),)))
+            network.inject(Packet(MessageType.REPLACEMENT, source=(0, 1),
+                                  destinations=((2, 2),)))
+        peak = 0
+        for _ in range(20):
+            network.step()
+            peak = max(
+                peak,
+                sum(r.buffered_flits() for r in network.routers.values()),
+            )
+        assert peak > 0
+        network.run_until_drained()
+        assert all(r.occupied_vcs() == 0 for r in network.routers.values())
+        assert all(
+            r.buffered_flits() == 0 for r in network.routers.values()
+        )

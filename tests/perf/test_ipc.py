@@ -1,0 +1,77 @@
+"""Unit tests for the blocking-read issue/IPC model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf import IssueModel
+
+
+class TestIssueModel:
+    def test_perfect_l2_reaches_perfect_ipc(self):
+        model = IssueModel(perfect_ipc=0.5)
+        for _ in range(100):
+            t = model.issue_time(10)
+            model.complete(t, is_write=False)  # zero-latency data
+        cycles, ipc = model.finish()
+        assert ipc == pytest.approx(0.5, rel=0.01)
+
+    def test_read_latency_stalls_retirement(self):
+        fast = IssueModel(perfect_ipc=0.5)
+        slow = IssueModel(perfect_ipc=0.5)
+        for _ in range(50):
+            t = fast.issue_time(10)
+            fast.complete(t + 1)
+            t = slow.issue_time(10)
+            slow.complete(t + 200)
+        assert slow.finish()[1] < fast.finish()[1]
+
+    def test_writes_do_not_stall(self):
+        model = IssueModel(perfect_ipc=0.5)
+        for _ in range(50):
+            t = model.issue_time(10)
+            model.complete(t + 500, is_write=True)
+        _, ipc = model.finish()
+        assert ipc == pytest.approx(0.5, rel=0.02)
+
+    def test_hide_cycles_absorb_short_latencies(self):
+        hidden = IssueModel(perfect_ipc=0.5, hide_cycles=30)
+        for _ in range(50):
+            t = hidden.issue_time(10)
+            hidden.complete(t + 25)
+        _, ipc = hidden.finish()
+        assert ipc == pytest.approx(0.5, rel=0.02)
+
+    def test_issue_times_monotone(self):
+        model = IssueModel(perfect_ipc=1.0)
+        previous = -1
+        for _ in range(20):
+            t = model.issue_time(1)
+            model.complete(t + 300)
+            assert t >= previous
+            previous = t
+
+    def test_tail_instructions_counted(self):
+        model = IssueModel(perfect_ipc=1.0)
+        model.issue_time(10)
+        cycles, _ = model.finish(tail_instructions=90)
+        assert model.instructions == 100
+        assert cycles >= 100
+
+    def test_reset(self):
+        model = IssueModel(perfect_ipc=1.0)
+        model.issue_time(100)
+        model.reset()
+        assert model.instructions == 0
+        assert model.issue_time(1) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            IssueModel(perfect_ipc=0)
+        with pytest.raises(ConfigurationError):
+            IssueModel(perfect_ipc=1.0, hide_cycles=-1)
+        with pytest.raises(ConfigurationError):
+            IssueModel(perfect_ipc=1.0).issue_time(-5)
+
+    def test_empty_run(self):
+        cycles, ipc = IssueModel(perfect_ipc=0.4).finish()
+        assert cycles == 0 and ipc == 0.4

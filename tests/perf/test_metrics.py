@@ -1,0 +1,56 @@
+"""Unit tests for latency accumulation."""
+
+import pytest
+
+from repro.perf import LatencyAccumulator
+
+
+class TestLatencyAccumulator:
+    def _filled(self):
+        acc = LatencyAccumulator()
+        acc.record(latency=100, hit=True, bank=10, network=80, memory=0,
+                   bank_position=0)
+        acc.record(latency=50, hit=True, bank=10, network=40, memory=0,
+                   bank_position=3)
+        acc.record(latency=400, hit=False, bank=20, network=180, memory=200)
+        return acc
+
+    def test_counts(self):
+        acc = self._filled()
+        assert acc.total_count == 3
+        assert acc.hit_count == 2 and acc.miss_count == 1
+
+    def test_averages(self):
+        acc = self._filled()
+        assert acc.average_latency == pytest.approx(550 / 3)
+        assert acc.average_hit_latency == 75
+        assert acc.average_miss_latency == 400
+
+    def test_min_max(self):
+        acc = self._filled()
+        assert acc.total_min == 50 and acc.total_max == 400
+
+    def test_hit_rate(self):
+        assert self._filled().hit_rate == pytest.approx(2 / 3)
+
+    def test_breakdown(self):
+        acc = self._filled()
+        breakdown = acc.breakdown()
+        assert breakdown["bank"] == pytest.approx(40 / 3)
+        fractions = acc.breakdown_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_mru_fraction(self):
+        assert self._filled().mru_hit_fraction() == pytest.approx(0.5)
+
+    def test_empty(self):
+        acc = LatencyAccumulator()
+        assert acc.average_latency == 0.0
+        assert acc.hit_rate == 0.0
+        assert acc.breakdown_fractions() == {"bank": 0.0, "network": 0.0,
+                                             "memory": 0.0}
+
+    def test_summary(self):
+        summary = self._filled().summary()
+        assert summary.count == 3
+        assert summary.minimum == 50 and summary.maximum == 400

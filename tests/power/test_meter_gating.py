@@ -1,0 +1,95 @@
+"""Integration tests for the energy meter and gating policy."""
+
+import pytest
+
+from repro.core.system import NetworkedCacheSystem
+from repro.errors import ConfigurationError
+from repro.power import EnergyMeter, GatingPolicy, simulate_gating
+from repro.workloads import TraceGenerator, profile_by_name
+
+
+@pytest.fixture(scope="module")
+def run_a():
+    profile = profile_by_name("twolf")
+    trace, warmup = TraceGenerator(profile, seed=2).generate_with_warmup(
+        measure=500
+    )
+    system = NetworkedCacheSystem(design="A", scheme="multicast+fast_lru")
+    result = system.run(trace, profile, warmup=warmup)
+    return system, result
+
+
+class TestEnergyMeter:
+    def test_all_components_positive(self, run_a):
+        system, result = run_a
+        report = EnergyMeter().measure(system, result)
+        assert report.bank_pj > 0
+        assert report.router_pj > 0
+        assert report.link_pj > 0
+        assert report.memory_pj > 0
+        assert report.leakage_pj > 0
+
+    def test_totals_consistent(self, run_a):
+        system, result = run_a
+        report = EnergyMeter().measure(system, result)
+        assert report.total_pj == pytest.approx(
+            report.dynamic_pj + report.leakage_pj
+        )
+        assert report.pj_per_access == pytest.approx(
+            report.total_pj / result.accesses
+        )
+        assert sum(report.fractions().values()) == pytest.approx(1.0)
+
+    def test_memory_energy_counts_fills_and_writebacks(self, run_a):
+        system, result = run_a
+        report = EnergyMeter().measure(system, result)
+        events = system.memory.reads + system.memory.writebacks
+        assert report.memory_pj == pytest.approx(
+            events * EnergyMeter().params.memory_access_pj
+        )
+
+    def test_halo_cheaper_per_access_than_mesh(self, run_a):
+        system_a, result_a = run_a
+        report_a = EnergyMeter().measure(system_a, result_a)
+        profile = profile_by_name("twolf")
+        trace, warmup = TraceGenerator(profile, seed=2).generate_with_warmup(
+            measure=500
+        )
+        system_f = NetworkedCacheSystem(design="F", scheme="multicast+fast_lru")
+        result_f = system_f.run(trace, profile, warmup=warmup)
+        report_f = EnergyMeter().measure(system_f, result_f)
+        assert report_f.pj_per_access < report_a.pj_per_access
+
+
+class TestGating:
+    def test_threshold_tradeoff(self, run_a):
+        system, result = run_a
+        eager = simulate_gating(system, result, GatingPolicy(idle_threshold=100))
+        lazy = simulate_gating(system, result, GatingPolicy(idle_threshold=50_000))
+        # Eager gating turns off more, but wakes up more often.
+        assert eager.gated_fraction >= lazy.gated_fraction
+        assert eager.wakeups >= lazy.wakeups
+
+    def test_leakage_accounting(self, run_a):
+        system, result = run_a
+        report = simulate_gating(system, result)
+        assert 0 <= report.gated_fraction <= 1
+        assert report.leakage_after_pj == pytest.approx(
+            report.leakage_before_pj * (1 - report.gated_fraction)
+        )
+        assert report.leakage_saved_pj >= 0
+
+    def test_latency_penalty_bounded(self, run_a):
+        system, result = run_a
+        report = simulate_gating(system, result, GatingPolicy(idle_threshold=0))
+        # Threshold 0 gates after every bank access: every access then wakes
+        # each bank it touches (the multicast tag phase touches the whole
+        # column, so the per-L2-access penalty is several wake latencies).
+        assert report.average_latency_penalty >= report.policy.wake_latency
+        assert report.gated_fraction == pytest.approx(1.0)
+
+    def test_invalid_policy(self):
+        with pytest.raises(ConfigurationError):
+            GatingPolicy(idle_threshold=-1)
+        with pytest.raises(ConfigurationError):
+            GatingPolicy(wake_latency=-1)

@@ -1,0 +1,43 @@
+"""Unit tests for energy parameters."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power import EnergyParams
+
+KB = 1024
+
+
+class TestEnergyParams:
+    def test_bank_energy_grows_sublinearly(self):
+        params = EnergyParams()
+        e64 = params.bank_access_pj(64 * KB)
+        e512 = params.bank_access_pj(512 * KB)
+        assert e64 < e512 < 8 * e64
+
+    def test_link_energy_linear_in_length(self):
+        params = EnergyParams()
+        assert params.link_flit_pj(2.0) == pytest.approx(2 * params.link_flit_pj(1.0))
+
+    def test_memory_dominates_onchip_events(self):
+        params = EnergyParams()
+        assert params.memory_access_pj > 50 * params.bank_access_pj(64 * KB)
+        assert params.memory_access_pj > 1000 * params.router_flit_pj
+
+    def test_leakage_scales_with_area_and_time(self):
+        params = EnergyParams()
+        base = params.leakage_pj(10.0, 1000)
+        assert params.leakage_pj(20.0, 1000) == pytest.approx(2 * base)
+        assert params.leakage_pj(10.0, 2000) == pytest.approx(2 * base)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyParams(router_flit_pj=0)
+        with pytest.raises(ConfigurationError):
+            EnergyParams(bank_capacity_exponent=2.0)
+        with pytest.raises(ConfigurationError):
+            EnergyParams().bank_access_pj(0)
+        with pytest.raises(ConfigurationError):
+            EnergyParams().link_flit_pj(-1)
+        with pytest.raises(ConfigurationError):
+            EnergyParams().leakage_pj(-1, 10)

@@ -1,0 +1,136 @@
+"""Unit tests for the event-driven simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(5, lambda: order.append(5))
+        queue.push(1, lambda: order.append(1))
+        queue.push(3, lambda: order.append(3))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert order == [1, 3, 5]
+
+    def test_fifo_within_same_timestamp(self):
+        queue = EventQueue()
+        order = []
+        for tag in "abc":
+            queue.push(7, lambda t=tag: order.append(t))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert order == ["a", "b", "c"]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1, lambda: fired.append("cancelled"))
+        queue.push(2, lambda: fired.append("kept"))
+        event.cancel()
+        while (live := queue.pop()) is not None:
+            live.callback()
+        assert fired == ["kept"]
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1, lambda: None)
+        queue.push(2, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1, lambda: None)
+        queue.push(4, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 4
+
+    def test_empty_queue(self):
+        queue = EventQueue()
+        assert queue.pop() is None
+        assert queue.peek_time() is None
+
+
+class TestSimulator:
+    def test_time_advances_to_event(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [10]
+        assert sim.now == 10
+
+    def test_schedule_relative_and_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3, lambda: seen.append(("rel", sim.now)))
+        sim.schedule_at(1, lambda: seen.append(("abs", sim.now)))
+        sim.run()
+        assert seen == [("abs", 1), ("rel", 3)]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_scheduling_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(2, lambda: None)
+
+    def test_run_until_is_inclusive(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5, lambda: seen.append(5))
+        sim.schedule(6, lambda: seen.append(6))
+        sim.run(until=5)
+        assert seen == [5]
+        assert sim.now == 5
+        sim.run()
+        assert seen == [5, 6]
+
+    def test_run_until_advances_time_when_idle(self):
+        sim = Simulator()
+        sim.run(until=100)
+        assert sim.now == 100
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        seen = []
+        for t in range(10):
+            sim.schedule(t + 1, lambda t=t: seen.append(t))
+        executed = sim.run(max_events=3)
+        assert executed == 3
+        assert seen == [0, 1, 2]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(depth):
+            seen.append((sim.now, depth))
+            if depth:
+                sim.schedule(2, lambda: chain(depth - 1))
+
+        sim.schedule(1, lambda: chain(2))
+        sim.run()
+        assert seen == [(1, 2), (3, 1), (5, 0)]
+
+    def test_pending_events_counter(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False

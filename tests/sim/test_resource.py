@@ -1,0 +1,156 @@
+"""Unit tests for interval resources and trackers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import FloorClock, OccupancyTracker, Resource
+
+
+class TestResource:
+    def test_grants_immediately_when_free(self):
+        resource = Resource()
+        assert resource.acquire(10, 5) == 10
+
+    def test_back_to_back_requests_queue(self):
+        resource = Resource()
+        assert resource.acquire(0, 10) == 0
+        assert resource.acquire(0, 10) == 10
+
+    def test_earlier_request_fits_in_gap_before_future_reservation(self):
+        resource = Resource()
+        # A chain reserves far in the future...
+        assert resource.acquire(100, 10) == 100
+        # ...but an earlier tag-match slips in front of it.
+        assert resource.acquire(5, 10) == 5
+
+    def test_gap_too_small_is_skipped(self):
+        resource = Resource()
+        resource.acquire(0, 10)     # [0, 10)
+        resource.acquire(12, 10)    # [12, 22)
+        # A 5-cycle request at t=8 does not fit in [10, 12); starts at 22.
+        assert resource.acquire(8, 5) == 22
+
+    def test_exact_fit_gap(self):
+        resource = Resource()
+        resource.acquire(0, 10)     # [0, 10)
+        resource.acquire(15, 10)    # [15, 25)
+        assert resource.acquire(0, 5) == 10  # exactly [10, 15)
+
+    def test_zero_duration_is_free(self):
+        resource = Resource()
+        resource.acquire(0, 10)
+        assert resource.acquire(3, 0) == 3
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource().acquire(0, -1)
+
+    def test_statistics(self):
+        resource = Resource()
+        resource.acquire(0, 10)
+        resource.acquire(0, 5)
+        assert resource.grants == 2
+        assert resource.busy_cycles == 15
+        assert resource.queued_cycles == 10
+        assert resource.utilization(30) == pytest.approx(0.5)
+
+    def test_reset(self):
+        resource = Resource()
+        resource.acquire(0, 10)
+        resource.reset()
+        assert resource.acquire(0, 1) == 0
+        assert resource.busy_cycles == 1
+
+    def test_is_free_at(self):
+        resource = Resource()
+        resource.acquire(5, 10)
+        assert resource.is_free_at(4)
+        assert not resource.is_free_at(5)
+        assert not resource.is_free_at(14)
+        assert resource.is_free_at(15)
+
+    def test_floor_pruning_keeps_results_correct(self):
+        clock = FloorClock()
+        resource = Resource(floor_clock=clock)
+        for t in range(0, 100, 10):
+            resource.acquire(t, 5)
+        clock.advance(1000)
+        # After pruning, new far-future requests still behave.
+        assert resource.acquire(1000, 5) == 1000
+        assert resource.acquire(1000, 5) == 1005
+
+    def test_floor_pruning_bounds_interval_list(self):
+        clock = FloorClock()
+        resource = Resource(floor_clock=clock)
+        for t in range(0, 10_000, 10):
+            clock.advance(t)
+            resource.acquire(t, 5)
+        assert len(resource._intervals) < 50
+
+    @given(
+        requests=st.lists(
+            st.tuples(st.integers(0, 200), st.integers(1, 20)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_granted_intervals_never_overlap(self, requests):
+        resource = Resource()
+        granted = []
+        for time, duration in requests:
+            start = resource.acquire(time, duration)
+            assert start >= time
+            granted.append((start, start + duration))
+        granted.sort()
+        for (_, end_a), (start_b, _) in zip(granted, granted[1:]):
+            assert end_a <= start_b
+
+
+class TestOccupancyTracker:
+    def test_two_servers_allow_two_concurrent(self):
+        tracker = OccupancyTracker(2)
+        assert tracker.acquire(0, 10) == 0
+        assert tracker.acquire(0, 10) == 0
+        assert tracker.acquire(0, 10) == 10
+
+    def test_earliest_server_wins(self):
+        tracker = OccupancyTracker(2)
+        tracker.acquire(0, 10)
+        tracker.acquire(0, 4)
+        assert tracker.acquire(0, 1) == 4
+
+    def test_single_server_serializes(self):
+        tracker = OccupancyTracker(1)
+        assert tracker.acquire(0, 3) == 0
+        assert tracker.acquire(1, 3) == 3
+
+    def test_invalid_servers_rejected(self):
+        with pytest.raises(SimulationError):
+            OccupancyTracker(0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            OccupancyTracker(1).acquire(0, -5)
+
+    def test_reset(self):
+        tracker = OccupancyTracker(2)
+        tracker.acquire(0, 100)
+        tracker.reset()
+        assert tracker.acquire(0, 1) == 0
+
+
+class TestFloorClock:
+    def test_monotone(self):
+        clock = FloorClock()
+        clock.advance(10)
+        clock.advance(5)
+        assert clock.time == 10
+
+    def test_reset(self):
+        clock = FloorClock()
+        clock.advance(10)
+        clock.reset()
+        assert clock.time == 0

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface (invoked in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--design", "F", "--benchmark", "art"])
+        assert args.design == "F" and args.benchmark == "art"
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--design", "Z"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        assert main(["run", "--benchmark", "art", "--design", "B",
+                     "--measure", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "design B" in out and "IPC" in out
+
+    def test_run_early_miss(self, capsys):
+        main(["run", "--benchmark", "mcf", "--measure", "200", "--early-miss"])
+        assert "early misses" in capsys.readouterr().out
+
+    def test_table_1(self, capsys):
+        main(["table", "1"])
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_table_3(self, capsys):
+        main(["table", "3"])
+        assert "halo" in capsys.readouterr().out
+
+    def test_table_4(self, capsys):
+        main(["table", "4"])
+        assert "Table 4" in capsys.readouterr().out
+
+    def test_figure_10(self, capsys):
+        main(["figure", "10"])
+        assert "die side" in capsys.readouterr().out
+
+    def test_layout(self, capsys):
+        main(["layout"])
+        assert "spike" in capsys.readouterr().out
+
+    def test_energy(self, capsys):
+        main(["energy", "--measure", "200", "--benchmark", "mesa"])
+        out = capsys.readouterr().out
+        assert "pJ/access" in out and "gating" in out
+
+
+class TestExtensionCommands:
+    def test_cmp(self, capsys):
+        main(["cmp", "--cores", "1", "2", "--designs", "A",
+              "--measure", "300"])
+        out = capsys.readouterr().out
+        assert "agg IPC" in out
+
+    def test_snuca(self, capsys):
+        main(["snuca", "--benchmark", "art", "--measure", "300"])
+        out = capsys.readouterr().out
+        assert "S-NUCA" in out and "speedup" in out
+
+    def test_trace(self, capsys, tmp_path):
+        target = tmp_path / "out.trace"
+        main(["trace", "--benchmark", "mesa", "--measure", "100",
+              "--output", str(target)])
+        assert "wrote 100 accesses" in capsys.readouterr().out
+        assert target.exists()
+
+    def test_report(self, capsys, tmp_path):
+        target = tmp_path / "report.txt"
+        main(["report", "--measure", "250", "--out", str(target)])
+        out = capsys.readouterr().out
+        assert "report written" in out
+        text = target.read_text()
+        assert "Figure 9" in text and "Table 4" in text
+        assert "Headline" in text

@@ -1,0 +1,108 @@
+"""Protocol-level validation of the transaction-level flows.
+
+`FlitLevelCacheProtocol` runs the real Fig.-3 message sequences (chain
+multicast, per-bank tag match, pipelined eviction chain, miss/fill path)
+through the cycle-accurate router fabric. The transaction engine's data
+latencies must track it within the small constant offsets the two models
+place differently (injection/ejection channel cycles).
+"""
+
+import pytest
+
+from repro.cache.address import AddressMapper
+from repro.core.system import NetworkedCacheSystem
+from repro.errors import ProtocolError
+from repro.noc.protocol import FlitLevelCacheProtocol
+
+MAPPER = AddressMapper()
+
+#: Allowed disagreement: the flit simulator charges one cycle each for
+#: injection and ejection channels that the transaction model folds into
+#: neighboring components, plus one cycle per replication split on the
+#: deepest multicast paths.
+HIT_TOLERANCE = 5
+MISS_TOLERANCE = 16
+
+
+def _transaction_hit(column: int, depth: int) -> int:
+    system = NetworkedCacheSystem(design="A", scheme="multicast+fast_lru")
+    for tag in range(16):
+        system.access(MAPPER.encode(tag=tag, index=3, column=column), at=0)
+    system.geometry.reset_contention()
+    system.memory.reset()
+    system.engine.reset()
+    timing = system.access(
+        MAPPER.encode(tag=15 - depth, index=3, column=column), at=0
+    )
+    assert timing.hit and timing.bank_position == depth
+    return timing.latency
+
+
+def _transaction_miss(column: int) -> int:
+    system = NetworkedCacheSystem(design="A", scheme="multicast+fast_lru")
+    for tag in range(16):
+        system.access(MAPPER.encode(tag=tag, index=3, column=column), at=0)
+    system.geometry.reset_contention()
+    system.memory.reset()
+    system.engine.reset()
+    timing = system.access(MAPPER.encode(tag=99, index=3, column=column), at=0)
+    assert not timing.hit
+    return timing.latency
+
+
+class TestHitValidation:
+    @pytest.mark.parametrize("column, depth", [
+        (4, 0), (4, 1), (4, 3), (4, 8), (8, 5), (12, 15), (0, 10),
+    ])
+    def test_hit_data_latency_tracks_flit_level(self, column, depth):
+        protocol = FlitLevelCacheProtocol()
+        trace = protocol.run_hit(column, depth)
+        transaction = _transaction_hit(column, depth)
+        assert abs(trace.data_latency - transaction) <= HIT_TOLERANCE
+
+    def test_hit_latency_monotone_in_depth(self):
+        protocol_latencies = []
+        for depth in (0, 4, 8, 12):
+            protocol = FlitLevelCacheProtocol()
+            protocol_latencies.append(protocol.run_hit(6, depth).data_latency)
+        assert protocol_latencies == sorted(protocol_latencies)
+
+    def test_request_chain_arrivals_monotone(self):
+        protocol = FlitLevelCacheProtocol()
+        trace = protocol.run_hit(6, 15)
+        arrivals = [trace.request_arrivals[i] for i in range(16)]
+        assert arrivals == sorted(arrivals)
+
+    def test_depth_out_of_range(self):
+        with pytest.raises(ProtocolError):
+            FlitLevelCacheProtocol().run_hit(4, 16)
+
+
+class TestMissValidation:
+    @pytest.mark.parametrize("column", [2, 8, 13])
+    def test_miss_data_latency_tracks_flit_level(self, column):
+        protocol = FlitLevelCacheProtocol()
+        trace = protocol.run_miss(column)
+        transaction = _transaction_miss(column)
+        assert abs(trace.data_latency - transaction) <= MISS_TOLERANCE
+
+    def test_miss_includes_memory_latency(self):
+        protocol = FlitLevelCacheProtocol()
+        trace = protocol.run_miss(5)
+        assert trace.memory_requested is not None
+        assert trace.data_latency > 162
+
+    def test_eviction_chain_completes(self):
+        protocol = FlitLevelCacheProtocol()
+        trace = protocol.run_miss(5)
+        assert trace.chain_done is not None
+        # The chain must reach the LRU bank after the request did.
+        assert trace.chain_done > trace.request_arrivals[15]
+
+    def test_hit_chain_stops_at_hit_bank(self):
+        protocol = FlitLevelCacheProtocol()
+        trace = protocol.run_hit(5, 4)
+        # The chain is absorbed at the hit bank, after it missed... i.e.
+        # after the request reached the banks before it.
+        assert trace.chain_done is not None
+        assert trace.chain_done >= trace.request_arrivals[3]

@@ -1,0 +1,56 @@
+"""Unit tests for the trace container."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads import Trace, TraceAccess
+
+
+class TestTraceAccess:
+    def test_valid(self):
+        access = TraceAccess(address=0x40, is_write=False, gap_instructions=3)
+        assert access.address == 0x40
+
+    def test_address_range_checked(self):
+        with pytest.raises(TraceError):
+            TraceAccess(address=1 << 32, is_write=False, gap_instructions=0)
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(TraceError):
+            TraceAccess(address=0, is_write=False, gap_instructions=-1)
+
+
+class TestTrace:
+    def _trace(self):
+        return Trace(
+            [
+                TraceAccess(0x40, False, 2),
+                TraceAccess(0x80, True, 3),
+                TraceAccess(0x40, False, 5),
+            ],
+            name="t",
+        )
+
+    def test_len_and_iteration(self):
+        trace = self._trace()
+        assert len(trace) == 3
+        assert [a.address for a in trace] == [0x40, 0x80, 0x40]
+
+    def test_counts(self):
+        trace = self._trace()
+        assert trace.write_count == 1
+        assert trace.read_count == 2
+
+    def test_total_instructions(self):
+        assert self._trace().total_instructions == 10
+
+    def test_distinct_blocks(self):
+        assert self._trace().distinct_blocks() == 2
+
+    def test_slice(self):
+        part = self._trace().slice(1)
+        assert len(part) == 2
+        assert part[0].address == 0x80
+
+    def test_indexing(self):
+        assert self._trace()[2].gap_instructions == 5
