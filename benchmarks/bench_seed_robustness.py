@@ -3,29 +3,31 @@ synthetic traces' random seed."""
 
 from conftest import emit
 
-from repro.core.system import NetworkedCacheSystem
-from repro.experiments.common import geometric_mean
-from repro.workloads import TraceGenerator, profile_by_name
+from repro.experiments.common import ExperimentConfig, geometric_mean
+from repro.experiments.runner import run_cells, spec_for
 
 BENCHMARKS = ("art", "twolf", "mcf")
-
-
-def _halo_ratio(seed: int, measure: int) -> float:
-    ipcs = {"A": [], "F": []}
-    for name in BENCHMARKS:
-        profile = profile_by_name(name)
-        trace, warmup = TraceGenerator(profile, seed=seed).generate_with_warmup(
-            measure=measure
-        )
-        for design in ("A", "F"):
-            system = NetworkedCacheSystem(design=design,
-                                          scheme="multicast+fast_lru")
-            ipcs[design].append(system.run(trace, profile, warmup=warmup).ipc)
-    return geometric_mean(ipcs["F"]) / geometric_mean(ipcs["A"])
+SEEDS = (1, 7, 42)
 
 
 def _sweep(measure: int) -> dict[int, float]:
-    return {seed: _halo_ratio(seed, measure) for seed in (1, 7, 42)}
+    """Halo/mesh IPC ratio per seed, evaluated as one engine batch."""
+    specs = [
+        spec_for(design, "multicast+fast_lru", name,
+                 ExperimentConfig(measure=measure, seed=seed))
+        for seed in SEEDS
+        for design in ("A", "F")
+        for name in BENCHMARKS
+    ]
+    results = iter(run_cells(specs))
+    ratios = {}
+    for seed in SEEDS:
+        ipc = {
+            design: geometric_mean([next(results).ipc for _ in BENCHMARKS])
+            for design in ("A", "F")
+        }
+        ratios[seed] = ipc["F"] / ipc["A"]
+    return ratios
 
 
 def test_halo_win_robust_to_seed(benchmark, config, report_dir):

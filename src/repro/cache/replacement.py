@@ -130,13 +130,32 @@ _POLICIES = {
     policy.name: policy for policy in (LRUPolicy, FastLRUPolicy, PromotionPolicy)
 }
 
+#: Spelling variants accepted by :func:`policy_by_name` (after lowercasing
+#: and mapping ``-``/spaces to ``_``).
+_POLICY_ALIASES = {
+    "fastlru": "fast_lru",
+    "fast_lru": "fast_lru",
+    "promo": "promotion",
+}
+
+
+def policy_names() -> tuple[str, ...]:
+    """Canonical policy names, in registry order."""
+    return tuple(_POLICIES)
+
 
 def policy_by_name(name: str) -> ReplacementPolicy:
-    """Instantiate a policy by its registry name."""
+    """Instantiate a policy by its registry name.
+
+    Accepts case-insensitive aliases: ``fastlru``, ``fast-lru``, and
+    ``fast lru`` all resolve to ``fast_lru``.
+    """
+    normalized = name.strip().lower().replace("-", "_").replace(" ", "_")
+    normalized = _POLICY_ALIASES.get(normalized, normalized)
     try:
-        return _POLICIES[name]()
+        return _POLICIES[normalized]()
     except KeyError:
         raise ConfigurationError(
-            f"unknown replacement policy {name!r}; "
-            f"known: {sorted(_POLICIES)}"
+            f"unknown replacement policy {name!r}; accepted: "
+            f"{', '.join(_POLICIES)} (aliases: fastlru/fast-lru -> fast_lru)"
         ) from None

@@ -40,19 +40,27 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
 
 
 def cmd_run(args: argparse.Namespace) -> str:
-    from repro.core.system import NetworkedCacheSystem
-    from repro.workloads import TraceGenerator, profile_by_name
+    from repro.workloads import profile_by_name
 
     profile = profile_by_name(args.benchmark)
-    trace, warmup = TraceGenerator(profile, seed=args.seed).generate_with_warmup(
-        measure=args.measure
-    )
-    system = NetworkedCacheSystem(
-        design=args.design,
-        scheme=args.scheme,
-        early_miss_detection=args.early_miss,
-    )
-    result = system.run(trace, profile, warmup=warmup)
+    system = None
+    if args.early_miss:
+        # Early-miss statistics live on the system object, which the
+        # engine's cached RunResults do not carry -- simulate directly.
+        from repro.core.system import NetworkedCacheSystem
+        from repro.workloads import TraceGenerator
+
+        trace, warmup = TraceGenerator(
+            profile, seed=args.seed
+        ).generate_with_warmup(measure=args.measure)
+        system = NetworkedCacheSystem(
+            design=args.design, scheme=args.scheme, early_miss_detection=True
+        )
+        result = system.run(trace, profile, warmup=warmup)
+    else:
+        from repro.experiments.common import run_system
+
+        result = run_system(args.design, args.scheme, args.benchmark, _config(args))
     shares = result.breakdown_fractions()
     lines = [
         f"design {result.design}, scheme {result.scheme}, "
@@ -68,7 +76,7 @@ def cmd_run(args: argparse.Namespace) -> str:
         f"IPC {result.ipc:.3f} ({result.ipc / profile.perfect_l2_ipc:.0%} of "
         f"perfect {profile.perfect_l2_ipc})",
     ]
-    if system.partial_tags is not None:
+    if system is not None and system.partial_tags is not None:
         lines.append(
             f"early misses {system.partial_tags.early_misses} "
             f"({system.partial_tags.early_miss_rate:.0%} of lookups)"
@@ -218,6 +226,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--measure", type=int, default=3000,
                        help="measured accesses per cell (default 3000)")
         p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for independent cells "
+                            "(0 = all cores; default 1 = serial)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the persistent on-disk result cache")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result cache location (default .repro-cache, "
+                            "or $REPRO_CACHE_DIR)")
 
     run = sub.add_parser("run", help="simulate one configuration")
     run.add_argument("--design", choices=DESIGN_NAMES, default="A")
@@ -287,6 +303,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.experiments import runner
+
+    runner.configure(
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
     print(args.handler(args))
     return 0
 

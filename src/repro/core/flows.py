@@ -40,7 +40,7 @@ CONTROL = packet_flits(carries_block=False)
 DATA = packet_flits(carries_block=True)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Scheme:
     """One of the five evaluated scheme combinations."""
 
@@ -57,7 +57,7 @@ class Scheme:
         return self.policy.overlaps_replacement
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessTiming:
     """Timing of one access, with the Fig.-7 latency decomposition."""
 
@@ -569,17 +569,27 @@ class TransactionEngine:
 
 
 def make_scheme(name: str) -> Scheme:
-    """Build a scheme from names like ``multicast+fast_lru``."""
-    from repro.cache.replacement import policy_by_name
+    """Build a scheme from names like ``multicast+fast_lru``.
 
-    try:
-        cast, policy_name = name.split("+", 1)
-    except ValueError:
+    Accepts common spelling variants case-insensitively: ``fastlru`` and
+    ``fast-lru`` both mean ``fast_lru``, and the cast half may be
+    abbreviated ``uc``/``mc``.
+    """
+    from repro.cache.replacement import policy_by_name, policy_names
+
+    cast, sep, policy_name = name.strip().lower().partition("+")
+    if not sep or not cast or not policy_name:
         raise ProtocolError(
-            f"scheme name {name!r} must look like 'unicast+lru'"
-        ) from None
+            f"scheme name {name!r} must be '<cast>+<policy>', e.g. "
+            f"'unicast+lru' or 'multicast+fast_lru' (casts: unicast, "
+            f"multicast; policies: {', '.join(policy_names())})"
+        )
+    cast = {"uc": "unicast", "mc": "multicast"}.get(cast, cast)
     if cast not in ("unicast", "multicast"):
-        raise ProtocolError(f"unknown cast {cast!r} in scheme {name!r}")
+        raise ProtocolError(
+            f"unknown cast {cast!r} in scheme {name!r}; accepted: "
+            f"unicast (uc), multicast (mc)"
+        )
     return Scheme(multicast=(cast == "multicast"), policy=policy_by_name(policy_name))
 
 

@@ -12,6 +12,8 @@ columns, and the memory channel.
 
 from __future__ import annotations
 
+import itertools
+
 from repro.cache.bank import BankDescriptor
 from repro.config import RouterConfig, packet_flits
 from repro.errors import ConfigurationError
@@ -47,6 +49,12 @@ class CacheGeometry:
         self.floor_clock = FloorClock()
         self._channel_resources: dict[tuple[NodeId, NodeId], Resource] = {}
         self._bank_resources: dict[tuple[int, int], Resource] = {}
+        #: (src, dst) -> tuple of (channel resource, hop cost, hop node):
+        #: routes are a pure function of the topology, so each pair's path,
+        #: per-hop costs, and channel resources are resolved exactly once.
+        self._plans: dict[
+            tuple[NodeId, NodeId], tuple[tuple[Resource, int, NodeId], ...]
+        ] = {}
         self._spike_queues: dict[int, OccupancyTracker] | None = None
         if self.is_halo:
             self._spike_queues = {
@@ -125,6 +133,22 @@ class CacheGeometry:
         channel = self.topology.channel(src, dst)
         return self.router_config.hop_latency + channel.wire_delay
 
+    def _plan(self, src: NodeId, dst: NodeId) -> tuple[tuple[Resource, int, NodeId], ...]:
+        """Resolved traversal plan for (src, dst): one (channel resource,
+        hop cost, hop node) triple per hop, computed once per geometry."""
+        plan = tuple(
+            (
+                self.channel_resource(hop_src, hop_dst),
+                self.hop_cost(hop_src, hop_dst),
+                hop_dst,
+            )
+            for hop_src, hop_dst in itertools.pairwise(
+                self.routing.path(self.topology, src, dst)
+            )
+        )
+        self._plans[(src, dst)] = plan
+        return plan
+
     def traverse(
         self,
         src: NodeId,
@@ -141,19 +165,23 @@ class CacheGeometry:
         *waypoints* maps intermediate nodes to head-flit arrival times
         (only filled when *record_waypoints*).
         """
-        waypoints: dict[NodeId, int] = {}
         if src == dst:
-            return time, waypoints
-        path = self.routing.path(self.topology, src, dst)
+            return time, {}
+        plan = self._plans.get((src, dst))
+        if plan is None:
+            plan = self._plan(src, dst)
         head = time
-        for i in range(len(path) - 1):
-            resource = self.channel_resource(path[i], path[i + 1])
-            start = resource.acquire(head, flits)
-            head = start + self.hop_cost(path[i], path[i + 1])
-            if record_waypoints and i + 1 < len(path) - 1:
-                waypoints[path[i + 1]] = head
-        arrival = head + (flits - 1)
-        return arrival, waypoints
+        if record_waypoints:
+            waypoints: dict[NodeId, int] = {}
+            last = len(plan) - 1
+            for i, (resource, cost, node) in enumerate(plan):
+                head = resource.acquire(head, flits) + cost
+                if i < last:
+                    waypoints[node] = head
+            return head + (flits - 1), waypoints
+        for resource, cost, _ in plan:
+            head = resource.acquire(head, flits) + cost
+        return head + (flits - 1), {}
 
     def multicast_column(
         self, column: int, time: int, core: NodeId | None = None

@@ -20,6 +20,11 @@ Module                    Paper artifact
 ========================  ===========================================
 """
 
-from repro.experiments.common import ExperimentConfig, run_system, trace_for
+from repro.experiments.common import (
+    ExperimentConfig,
+    run_system,
+    run_systems,
+    trace_for,
+)
 
-__all__ = ["ExperimentConfig", "run_system", "trace_for"]
+__all__ = ["ExperimentConfig", "run_system", "run_systems", "trace_for"]

@@ -19,13 +19,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.config import RouterConfig
-from repro.core.system import NetworkedCacheSystem
 from repro.experiments.common import ExperimentConfig, geometric_mean
-from repro.workloads.generator import TraceGenerator
-from repro.workloads.profiles import profile_by_name
+from repro.experiments.runner import run_cells, spec_for
 
 DEFAULT_BENCHMARKS = ("art", "twolf", "mcf")
+SCHEME = "multicast+fast_lru"
 
 
 @dataclass(frozen=True)
@@ -37,46 +35,43 @@ class AblationPoint:
     mean_latency: float
 
 
-def _run_mix(
-    benchmarks,
-    measure: int,
-    seed: int,
-    build_system,
-    hide_cycles: int = 0,
-    index_space: int | None = None,
-) -> tuple[float, float]:
-    """(geomean IPC, mean latency) of a system factory over a mix."""
-    ipcs, latencies = [], []
-    for name in benchmarks:
-        profile = profile_by_name(name)
-        kwargs = {} if index_space is None else {"index_space": index_space}
-        generator = TraceGenerator(profile, seed=seed, **kwargs)
-        trace, warmup = generator.generate_with_warmup(measure=measure)
-        system = build_system()
-        result = system.run(trace, profile, warmup=warmup,
-                            hide_cycles=hide_cycles)
-        ipcs.append(result.ipc)
-        latencies.append(result.average_latency)
-    return geometric_mean(ipcs), sum(latencies) / len(latencies)
+def _mix_specs(config: ExperimentConfig, design: str = "A",
+               scheme: str = SCHEME, **overrides) -> list:
+    """One engine cell per mix benchmark, with the sweep's overrides."""
+    return [
+        spec_for(design, scheme, benchmark, config, **overrides)
+        for benchmark in DEFAULT_BENCHMARKS
+    ]
+
+
+def _points(config: ExperimentConfig, variants) -> list[AblationPoint]:
+    """Run every (label, specs) variant through the engine in one batch.
+
+    Handing the engine the flattened cell list lets ``--jobs`` spread the
+    whole ablation, not just one variant, over workers.
+    """
+    all_specs = [spec for _, specs in variants for spec in specs]
+    results = iter(run_cells(all_specs))
+    points = []
+    for label, specs in variants:
+        cell_results = [next(results) for _ in specs]
+        points.append(
+            AblationPoint(
+                label,
+                geometric_mean([r.ipc for r in cell_results]),
+                sum(r.average_latency for r in cell_results) / len(cell_results),
+            )
+        )
+    return points
 
 
 def router_ablation(config: ExperimentConfig | None = None) -> list[AblationPoint]:
     """Single-cycle vs pipelined router, Design A, Multicast Fast-LRU."""
     config = config or ExperimentConfig()
-    points = []
-    for label, single in (("single-cycle", True), ("pipelined (5-stage)", False)):
-        ipc, latency = _run_mix(
-            DEFAULT_BENCHMARKS,
-            config.measure,
-            config.seed,
-            lambda single=single: NetworkedCacheSystem(
-                design="A",
-                scheme="multicast+fast_lru",
-                router_config=RouterConfig(single_cycle=single),
-            ),
-        )
-        points.append(AblationPoint(label, ipc, latency))
-    return points
+    return _points(config, [
+        (label, _mix_specs(config, single_cycle_router=single))
+        for label, single in (("single-cycle", True), ("pipelined (5-stage)", False))
+    ])
 
 
 def spike_queue_ablation(
@@ -85,20 +80,11 @@ def spike_queue_ablation(
 ) -> list[AblationPoint]:
     """Spike issue-queue depth on Design F."""
     config = config or ExperimentConfig()
-    points = []
-    for depth in depths:
-        ipc, latency = _run_mix(
-            DEFAULT_BENCHMARKS,
-            config.measure,
-            config.seed,
-            lambda depth=depth: NetworkedCacheSystem(
-                design="F",
-                scheme="multicast+fast_lru",
-                spike_queue_entries=depth,
-            ),
-        )
-        points.append(AblationPoint(f"{depth}-entry spike queue", ipc, latency))
-    return points
+    return _points(config, [
+        (f"{depth}-entry spike queue",
+         _mix_specs(config, design="F", spike_queue_entries=depth))
+        for depth in depths
+    ])
 
 
 def spiral_spike_ablation(
@@ -109,38 +95,11 @@ def spiral_spike_ablation(
     Section 4: curving a spike packs the die better but lengthens its
     wires; we model the spiral as doubling every spike wire delay.
     """
-    from repro.cache.bank import bank_descriptors_for_column
-    from repro.core.geometry import CacheGeometry
-    from repro.noc.topology import HaloTopology
-
     config = config or ExperimentConfig()
-    points = []
-    for label, scale in (("straight spikes", 1), ("spiral spikes (2x wire)", 2)):
-
-        def build(scale=scale):
-            system = NetworkedCacheSystem(design="E", scheme="multicast+fast_lru")
-            topology = HaloTopology(
-                16, 16,
-                position_bank_capacities=[64 * 1024] * 16,
-                memory_pin_delay=16,
-                wire_delay_scale=scale,
-            )
-            columns = [
-                bank_descriptors_for_column([64 * 1024] * 16) for _ in range(16)
-            ]
-            system.geometry = CacheGeometry(topology, columns)
-            system.memory.channel.floor_clock = system.geometry.floor_clock
-            from repro.core.flows import TransactionEngine
-            system.engine = TransactionEngine(
-                system.geometry, system.memory, system.scheme
-            )
-            return system
-
-        ipc, latency = _run_mix(
-            DEFAULT_BENCHMARKS, config.measure, config.seed, build
-        )
-        points.append(AblationPoint(label, ipc, latency))
-    return points
+    return _points(config, [
+        (label, _mix_specs(config, design="E", spike_wire_scale=scale))
+        for label, scale in (("straight spikes", 1), ("spiral spikes (2x wire)", 2))
+    ])
 
 
 def mechanism_ablation(config: ExperimentConfig | None = None) -> list[AblationPoint]:
@@ -152,18 +111,27 @@ def mechanism_ablation(config: ExperimentConfig | None = None) -> list[AblationP
         ("+ multicast", "A", "multicast+fast_lru"),
         ("+ halo (Design F)", "F", "multicast+fast_lru"),
     )
-    points = []
-    for label, design, scheme in steps:
-        ipc, latency = _run_mix(
-            DEFAULT_BENCHMARKS,
-            config.measure,
-            config.seed,
-            lambda design=design, scheme=scheme: NetworkedCacheSystem(
-                design=design, scheme=scheme
-            ),
-        )
-        points.append(AblationPoint(label, ipc, latency))
-    return points
+    return _points(config, [
+        (label, _mix_specs(config, design=design, scheme=scheme))
+        for label, design, scheme in steps
+    ])
+
+
+def _halo_ratios(config: ExperimentConfig, values, overrides_of) -> dict:
+    """Design F over Design A geomean-IPC ratio per swept value."""
+    variants = []
+    for value in values:
+        for design in ("A", "F"):
+            variants.append(
+                ((value, design),
+                 _mix_specs(config, design=design, **overrides_of(value)))
+            )
+    points = dict(zip((key for key, _ in variants),
+                      _points(config, variants)))
+    return {
+        value: points[(value, "F")].geomean_ipc / points[(value, "A")].geomean_ipc
+        for value in values
+    }
 
 
 def sampling_ablation(
@@ -176,20 +144,7 @@ def sampling_ablation(
     reports; it must be stable under the sampling choice.
     """
     config = config or ExperimentConfig()
-    ratios = {}
-    for index_space in index_spaces:
-        ipc_a, _ = _run_mix(
-            DEFAULT_BENCHMARKS, config.measure, config.seed,
-            lambda: NetworkedCacheSystem(design="A", scheme="multicast+fast_lru"),
-            index_space=index_space,
-        )
-        ipc_f, _ = _run_mix(
-            DEFAULT_BENCHMARKS, config.measure, config.seed,
-            lambda: NetworkedCacheSystem(design="F", scheme="multicast+fast_lru"),
-            index_space=index_space,
-        )
-        ratios[index_space] = ipc_f / ipc_a
-    return ratios
+    return _halo_ratios(config, index_spaces, lambda v: {"index_space": v})
 
 
 def issue_model_ablation(
@@ -198,20 +153,7 @@ def issue_model_ablation(
 ) -> dict[int, float]:
     """Halo-vs-mesh IPC ratio across the IPC model's hide_cycles knob."""
     config = config or ExperimentConfig()
-    ratios = {}
-    for hide in hide_values:
-        ipc_a, _ = _run_mix(
-            DEFAULT_BENCHMARKS, config.measure, config.seed,
-            lambda: NetworkedCacheSystem(design="A", scheme="multicast+fast_lru"),
-            hide_cycles=hide,
-        )
-        ipc_f, _ = _run_mix(
-            DEFAULT_BENCHMARKS, config.measure, config.seed,
-            lambda: NetworkedCacheSystem(design="F", scheme="multicast+fast_lru"),
-            hide_cycles=hide,
-        )
-        ratios[hide] = ipc_f / ipc_a
-    return ratios
+    return _halo_ratios(config, hide_values, lambda v: {"hide_cycles": v})
 
 
 def render(points: list[AblationPoint], title: str) -> str:

@@ -1,0 +1,187 @@
+"""Persistent on-disk cache for experiment results.
+
+Simulation cells are deterministic functions of their specification, so
+their :class:`~repro.core.system.RunResult` objects can be reused across
+processes and across ``python -m repro`` invocations. Entries are keyed by
+the full cell specification *plus a fingerprint of the ``repro`` source
+tree*: any code change produces a new fingerprint, so stale results
+self-invalidate instead of silently surviving a model fix.
+
+Storage layout: one pickle file per entry under the cache directory, named
+by the SHA-256 of the key. Writes go through a temporary file in the same
+directory followed by :func:`os.replace`, which is atomic on POSIX --
+concurrent workers (or concurrent ``repro`` invocations) can race on the
+same entry and the loser simply overwrites the winner with identical
+bytes, never a torn file. A corrupted or unreadable entry is treated as a
+miss and deleted, never raised.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Bump to orphan every existing entry (format change).
+CACHE_FORMAT = 1
+
+#: Default cache location; override with $REPRO_CACHE_DIR or --cache-dir.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_fingerprint: str | None = None
+
+
+def code_fingerprint() -> str:
+    """Hex digest over every ``.py`` file of the installed ``repro`` tree.
+
+    Hashes relative paths and file contents (not mtimes), so rebuilding an
+    identical tree keeps the fingerprint stable while any source edit --
+    including to modules a cell never imports -- invalidates it. Computed
+    once per process.
+    """
+    global _fingerprint
+    if _fingerprint is None:
+        import repro
+
+        root = pathlib.Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _fingerprint = digest.hexdigest()[:20]
+    return _fingerprint
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    discarded: int = 0
+    write_failures: int = 0
+
+
+@dataclass
+class ResultCache:
+    """Fingerprinted, atomically-written pickle store for run results.
+
+    ``fingerprint`` defaults to :func:`code_fingerprint`; tests inject a
+    fixed value to exercise invalidation without editing source files.
+    """
+
+    directory: pathlib.Path = field(
+        default_factory=lambda: pathlib.Path(
+            os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        )
+    )
+    fingerprint: str = ""
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.directory = pathlib.Path(self.directory)
+        if not self.fingerprint:
+            self.fingerprint = code_fingerprint()
+
+    # -- keying ---------------------------------------------------------------
+
+    def _full_key(self, key: tuple) -> tuple:
+        return (CACHE_FORMAT, self.fingerprint, key)
+
+    def _path(self, key: tuple) -> pathlib.Path:
+        digest = hashlib.sha256(repr(self._full_key(key)).encode()).hexdigest()
+        return self.directory / f"{digest}.pkl"
+
+    # -- access ---------------------------------------------------------------
+
+    def get(self, key: tuple) -> Any | None:
+        """Stored value for *key*, or ``None``.
+
+        A corrupted, truncated, or mismatched entry is deleted and counted
+        in ``stats.discarded`` -- cache damage degrades to a re-run, it is
+        never fatal.
+        """
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            payload = pickle.loads(blob)
+            stored_key, value = payload["key"], payload["value"]
+        except Exception:
+            self._discard(path)
+            self.stats.misses += 1
+            return None
+        if stored_key != self._full_key(key):
+            # Hash collision or tampered entry: treat as damage.
+            self._discard(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: tuple, value: Any) -> None:
+        """Store *value* under *key* (atomic: temp file + rename).
+
+        An unwritable cache (bad ``--cache-dir``, full or read-only disk)
+        just loses the entry -- the simulation result still stands, so a
+        storage failure must never take the run down with it.
+        """
+        payload = {"key": self._full_key(key), "value": value}
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-", suffix=".pkl"
+            )
+        except OSError:
+            self.stats.write_failures += 1
+            return
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, self._path(key))
+        except BaseException as error:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            if isinstance(error, OSError):
+                self.stats.write_failures += 1
+                return
+            raise
+        self.stats.stores += 1
+
+    def _discard(self, path: pathlib.Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.stats.discarded += 1
+
+    # -- maintenance ----------------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every entry (any fingerprint); returns the count removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.pkl"))

@@ -4,9 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.system import NetworkedCacheSystem, RunResult
-from repro.workloads.generator import TraceGenerator
-from repro.workloads.profiles import BENCHMARKS, profile_by_name
+from repro.core.system import RunResult
+from repro.workloads.profiles import BENCHMARKS
 from repro.workloads.trace import Trace
 
 #: Table-2 benchmark names in the paper's order.
@@ -37,23 +36,14 @@ class ExperimentConfig:
         )
 
 
-_trace_cache: dict[tuple, tuple[Trace, int]] = {}
-
-
 def trace_for(benchmark: str, config: ExperimentConfig) -> tuple[Trace, int]:
     """Deterministic (trace, warmup) for a benchmark, cached per config."""
-    key = (benchmark, config.measure, config.seed, config.warmup_mix_factor)
-    cached = _trace_cache.get(key)
-    if cached is None:
-        generator = TraceGenerator(profile_by_name(benchmark), seed=config.seed)
-        cached = generator.generate_with_warmup(
-            measure=config.measure, mix_factor=config.warmup_mix_factor
-        )
-        _trace_cache[key] = cached
-    return cached
+    from repro.experiments import runner
 
-
-_result_cache: dict[tuple, RunResult] = {}
+    return runner._trace_with_warmup(
+        runner.spec_for(benchmark=benchmark, design="A",
+                        scheme="multicast+fast_lru", config=config)
+    )
 
 
 def run_system(
@@ -62,22 +52,32 @@ def run_system(
     benchmark: str,
     config: ExperimentConfig,
 ) -> RunResult:
-    """Build a fresh system and run one benchmark through it.
+    """Run one (design, scheme, benchmark) cell through the engine.
 
-    Runs are deterministic given their arguments, so results are memoized
-    per process (the figure drivers share many (design, scheme, benchmark)
-    cells).
+    Runs are deterministic given their arguments; the engine memoizes them
+    per process (the figure drivers share many cells) and, when the CLI
+    enables it, in the persistent on-disk result cache.
     """
-    key = (design, scheme, benchmark, config)
-    cached = _result_cache.get(key)
-    if cached is not None:
-        return cached
-    profile = profile_by_name(benchmark)
-    trace, warmup = trace_for(benchmark, config)
-    system = NetworkedCacheSystem(design=design, scheme=scheme)
-    result = system.run(trace, profile, warmup=warmup)
-    _result_cache[key] = result
-    return result
+    from repro.experiments import runner
+
+    return runner.run_cells([runner.spec_for(design, scheme, benchmark, config)])[0]
+
+
+def run_systems(
+    cells: list[tuple[str, str, str]],
+    config: ExperimentConfig,
+) -> dict[tuple[str, str, str], RunResult]:
+    """Evaluate a batch of (design, scheme, benchmark) cells at once.
+
+    The preferred driver entry point: handing the whole cell list to the
+    engine lets it fan independent cells over worker processes
+    (``--jobs``) and consult the persistent result cache, while a lone
+    :func:`run_system` loop is inherently serial.
+    """
+    from repro.experiments import runner
+
+    specs = [runner.spec_for(d, s, b, config) for d, s, b in cells]
+    return dict(zip(cells, runner.run_cells(specs)))
 
 
 def geometric_mean(values: list[float]) -> float:

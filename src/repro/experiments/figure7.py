@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.charts import stacked_bars
-from repro.experiments.common import ExperimentConfig, run_system
+from repro.experiments.common import ExperimentConfig, run_systems
 from repro.experiments.report import format_table
 
 SCHEME = "unicast+lru"
@@ -31,9 +31,11 @@ class Figure7Row:
 
 def run(config: ExperimentConfig | None = None) -> list[Figure7Row]:
     config = config or ExperimentConfig()
+    cells = [(DESIGN, SCHEME, benchmark) for benchmark in config.benchmarks]
+    results = run_systems(cells, config)
     rows = []
     for benchmark in config.benchmarks:
-        result = run_system(DESIGN, SCHEME, benchmark, config)
+        result = results[(DESIGN, SCHEME, benchmark)]
         shares = result.breakdown_fractions()
         rows.append(
             Figure7Row(

@@ -20,7 +20,7 @@ from repro.core.flows import FIGURE8_SCHEMES
 from repro.experiments.common import (
     ExperimentConfig,
     SchemeSummary,
-    run_system,
+    run_systems,
 )
 from repro.experiments.report import format_ratio, format_table
 
@@ -29,13 +29,17 @@ DESIGN = "A"
 
 def run(config: ExperimentConfig | None = None) -> dict[str, SchemeSummary]:
     config = config or ExperimentConfig()
+    cells = [
+        (DESIGN, scheme, benchmark)
+        for scheme in FIGURE8_SCHEMES
+        for benchmark in config.benchmarks
+    ]
+    results = run_systems(cells, config)
     summaries: dict[str, SchemeSummary] = {}
     for scheme in FIGURE8_SCHEMES:
         summary = SchemeSummary(scheme=scheme)
         for benchmark in config.benchmarks:
-            summary.per_benchmark[benchmark] = run_system(
-                DESIGN, scheme, benchmark, config
-            )
+            summary.per_benchmark[benchmark] = results[(DESIGN, scheme, benchmark)]
         summaries[scheme] = summary
     return summaries
 

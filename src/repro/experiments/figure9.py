@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.core.designs import DESIGN_NAMES, design_spec
 from repro.experiments.charts import horizontal_bars
-from repro.experiments.common import ExperimentConfig, geometric_mean, run_system
+from repro.experiments.common import ExperimentConfig, geometric_mean, run_systems
 from repro.experiments.report import format_table
 
 SCHEME = "multicast+fast_lru"
@@ -36,12 +36,18 @@ class Figure9Result:
 
 def run(config: ExperimentConfig | None = None) -> Figure9Result:
     config = config or ExperimentConfig()
+    cells = [
+        (design, SCHEME, benchmark)
+        for design in DESIGN_NAMES
+        for benchmark in config.benchmarks
+    ]
+    results = run_systems(cells, config)
     result = Figure9Result(benchmarks=list(config.benchmarks))
     for design in DESIGN_NAMES:
-        result.ipc[design] = {}
-        for benchmark in config.benchmarks:
-            run_result = run_system(design, SCHEME, benchmark, config)
-            result.ipc[design][benchmark] = run_result.ipc
+        result.ipc[design] = {
+            benchmark: results[(design, SCHEME, benchmark)].ipc
+            for benchmark in config.benchmarks
+        }
     return result
 
 

@@ -23,7 +23,9 @@ from repro.experiments import (
     table3_designs,
     table4_area,
 )
-from repro.experiments.common import ExperimentConfig
+from repro.core.designs import DESIGN_NAMES
+from repro.core.flows import FIGURE8_SCHEMES
+from repro.experiments.common import ExperimentConfig, run_systems
 
 #: (section title, runner, renderer); runners taking a config get one.
 _ARTIFACTS = (
@@ -51,6 +53,27 @@ def artifact_names() -> tuple[str, ...]:
     return tuple(title for title, _, _ in _ARTIFACTS)
 
 
+def simulation_cells(config: ExperimentConfig) -> list[tuple[str, str, str]]:
+    """Every (design, scheme, benchmark) cell the report will simulate.
+
+    Fig. 7 (Unicast LRU on A) and the headline claims are subsets of the
+    Fig. 8 x Fig. 9 grids, so this union is the report's complete
+    simulation workload.
+    """
+    cells = [
+        ("A", scheme, benchmark)
+        for scheme in FIGURE8_SCHEMES
+        for benchmark in config.benchmarks
+    ]
+    cells += [
+        (design, "multicast+fast_lru", benchmark)
+        for design in DESIGN_NAMES
+        if design != "A"
+        for benchmark in config.benchmarks
+    ]
+    return cells
+
+
 def generate(config: ExperimentConfig | None = None,
              progress=None) -> str:
     """Run every artifact and return the combined report text.
@@ -65,6 +88,12 @@ def generate(config: ExperimentConfig | None = None,
         f"seed {config.seed}",
     ]
     started = time.time()
+    # Evaluate the full simulation grid in one engine batch up front:
+    # with --jobs > 1 the pool spans artifact boundaries, and the
+    # per-artifact runners below then hit the engine memo.
+    if progress is not None:
+        progress("simulation sweep (all figure cells)")
+    run_systems(simulation_cells(config), config)
     for title, runner, renderer in _ARTIFACTS:
         if progress is not None:
             progress(title)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments import table4_area
-from repro.experiments.common import ExperimentConfig, geometric_mean, run_system
+from repro.experiments.common import ExperimentConfig, geometric_mean, run_systems
 
 
 @dataclass
@@ -34,11 +34,19 @@ PAPER = HeadlineResult(
 
 def run(config: ExperimentConfig | None = None) -> HeadlineResult:
     config = config or ExperimentConfig()
+    points = (
+        ("A", "multicast+promotion"),
+        ("A", "multicast+fast_lru"),
+        ("F", "multicast+fast_lru"),
+    )
+    results = run_systems(
+        [(d, s, b) for d, s in points for b in config.benchmarks], config
+    )
 
     def geomean_ipc(design: str, scheme: str) -> float:
         return geometric_mean(
             [
-                run_system(design, scheme, benchmark, config).ipc
+                results[(design, scheme, benchmark)].ipc
                 for benchmark in config.benchmarks
             ]
         )

@@ -1,0 +1,384 @@
+"""Parallel experiment engine: fan independent cells over worker processes.
+
+Every figure/table driver reduces to a list of *cells* -- fully-specified,
+independent simulation runs -- evaluated in a deterministic order. This
+module owns that evaluation:
+
+* a :class:`CellSpec` captures everything a run depends on as plain
+  picklable fields (design, scheme, benchmark, trace parameters, and the
+  model overrides the ablation/sensitivity sweeps need), so a cell can be
+  executed in any process and keyed into caches;
+* :func:`run_cells` evaluates a batch, deduplicating repeats, consulting
+  the in-process memo and the persistent
+  :class:`~repro.experiments.cache.ResultCache`, and fanning what remains
+  over a ``ProcessPoolExecutor`` when ``jobs > 1``;
+* if the pool dies mid-sweep (a worker OOM-killed, a broken interpreter),
+  the remaining cells fall back to serial execution in-process -- a sweep
+  degrades, it does not crash.
+
+Determinism: a cell owns a fresh :class:`NetworkedCacheSystem` and a trace
+generated from its own seed, so its result is a pure function of its spec.
+Parallel, serial, and cached evaluations of the same spec are
+bit-identical, which the engine tests assert.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, fields
+from typing import Callable, Iterable, Sequence
+
+from repro.core.system import NetworkedCacheSystem, RunResult
+from repro.experiments.cache import ResultCache
+
+#: Default worker-trace cache bound (traces are the expensive shared input).
+_TRACE_CACHE_MAX = 64
+
+
+@dataclass(frozen=True, slots=True)
+class CellSpec:
+    """One independent simulation cell, as plain picklable data.
+
+    The first three fields are the paper's (design, scheme, benchmark)
+    coordinates; the rest pin down the trace and every model override the
+    sweeps use, so equal specs always produce bit-identical results.
+    """
+
+    design: str
+    scheme: str
+    benchmark: str
+    measure: int
+    seed: int
+    warmup_mix_factor: float = 0.5
+    #: IssueModel overlap knob (issue-model ablation).
+    hide_cycles: int = 0
+    #: Set-sampling width override (sampling ablation); None = generator default.
+    index_space: int | None = None
+    #: Halo spike issue-queue depth (spike-queue ablation).
+    spike_queue_entries: int = 2
+    #: Router pipeline override (router ablation); None = design default.
+    single_cycle_router: bool | None = None
+    #: Off-chip base latency override (memory sensitivity); None = Table 1.
+    memory_base_latency: int | None = None
+    #: Scale factor on every Table-1 bank wire delay (wire sensitivity).
+    wire_delay_scale: int | None = None
+    #: Spike wire-delay scale on a rebuilt uniform halo (spiral ablation).
+    spike_wire_scale: int | None = None
+    #: Partial-tag early miss detection (D-NUCA smart search).
+    early_miss_detection: bool = False
+
+    def key(self) -> tuple:
+        """Stable cache key: field names and values in declaration order."""
+        return ("cell",) + tuple(
+            (f.name, getattr(self, f.name)) for f in fields(self)
+        )
+
+
+def spec_for(
+    design: str,
+    scheme: str,
+    benchmark: str,
+    config,
+    **overrides,
+) -> CellSpec:
+    """Build a :class:`CellSpec` from an
+    :class:`~repro.experiments.common.ExperimentConfig`, normalizing the
+    scheme name so aliases share cache entries."""
+    from repro.core.flows import make_scheme
+
+    return CellSpec(
+        design=design,
+        scheme=make_scheme(scheme).name,
+        benchmark=benchmark,
+        measure=config.measure,
+        seed=config.seed,
+        warmup_mix_factor=config.warmup_mix_factor,
+        **overrides,
+    )
+
+
+# -- cell execution (must stay top-level: workers pickle by reference) -------
+
+_worker_traces: dict[tuple, tuple] = {}
+
+
+def _trace_with_warmup(spec: CellSpec):
+    """Deterministic (trace, warmup) for a spec, memoized per process."""
+    from repro.workloads.generator import TraceGenerator
+    from repro.workloads.profiles import profile_by_name
+
+    key = (
+        spec.benchmark,
+        spec.measure,
+        spec.seed,
+        spec.warmup_mix_factor,
+        spec.index_space,
+    )
+    cached = _worker_traces.get(key)
+    if cached is None:
+        profile = profile_by_name(spec.benchmark)
+        kwargs = {} if spec.index_space is None else {"index_space": spec.index_space}
+        generator = TraceGenerator(profile, seed=spec.seed, **kwargs)
+        cached = generator.generate_with_warmup(
+            measure=spec.measure, mix_factor=spec.warmup_mix_factor
+        )
+        if len(_worker_traces) >= _TRACE_CACHE_MAX:
+            _worker_traces.clear()
+        _worker_traces[key] = cached
+    return cached
+
+
+@contextlib.contextmanager
+def _model_overrides(spec: CellSpec):
+    """Apply the spec's global model overrides, restoring them on exit."""
+    from repro import config as repro_config
+
+    if spec.memory_base_latency is None and spec.wire_delay_scale is None:
+        yield
+        return
+    original_memory = repro_config.MEMORY_BASE_LATENCY
+    original_wires = {
+        capacity: entry["wire"]
+        for capacity, entry in repro_config._BANK_TIMING.items()
+    }
+    try:
+        if spec.memory_base_latency is not None:
+            repro_config.MEMORY_BASE_LATENCY = spec.memory_base_latency
+        if spec.wire_delay_scale is not None:
+            for capacity, entry in repro_config._BANK_TIMING.items():
+                entry["wire"] = original_wires[capacity] * spec.wire_delay_scale
+        yield
+    finally:
+        repro_config.MEMORY_BASE_LATENCY = original_memory
+        for capacity, entry in repro_config._BANK_TIMING.items():
+            entry["wire"] = original_wires[capacity]
+
+
+def _build_system(spec: CellSpec) -> NetworkedCacheSystem:
+    from repro.config import RouterConfig
+
+    router_config = None
+    if spec.single_cycle_router is not None:
+        router_config = RouterConfig(single_cycle=spec.single_cycle_router)
+    system = NetworkedCacheSystem(
+        design=spec.design,
+        scheme=spec.scheme,
+        router_config=router_config,
+        spike_queue_entries=spec.spike_queue_entries,
+        early_miss_detection=spec.early_miss_detection,
+    )
+    if spec.spike_wire_scale is not None:
+        _rebuild_uniform_halo(system, spec.spike_wire_scale)
+    return system
+
+
+def _rebuild_uniform_halo(system: NetworkedCacheSystem, wire_scale: int) -> None:
+    """Swap in the spiral-spike ablation's uniform 16x16 halo geometry."""
+    from repro.cache.bank import bank_descriptors_for_column
+    from repro.core.flows import TransactionEngine
+    from repro.core.geometry import CacheGeometry
+    from repro.noc.topology import HaloTopology
+
+    topology = HaloTopology(
+        16,
+        16,
+        position_bank_capacities=[64 * 1024] * 16,
+        memory_pin_delay=16,
+        wire_delay_scale=wire_scale,
+    )
+    columns = [bank_descriptors_for_column([64 * 1024] * 16) for _ in range(16)]
+    system.geometry = CacheGeometry(topology, columns)
+    system.memory.channel.floor_clock = system.geometry.floor_clock
+    system.engine = TransactionEngine(system.geometry, system.memory, system.scheme)
+
+
+def execute_cell(spec: CellSpec) -> RunResult:
+    """Run one cell from scratch (no caches). Top-level and picklable."""
+    from repro.workloads.profiles import profile_by_name
+
+    profile = profile_by_name(spec.benchmark)
+    trace, warmup = _trace_with_warmup(spec)
+    with _model_overrides(spec):
+        system = _build_system(spec)
+        return system.run(
+            trace, profile, warmup=warmup, hide_cycles=spec.hide_cycles
+        )
+
+
+# -- engine configuration ----------------------------------------------------
+
+
+@dataclass
+class EngineSettings:
+    """Process-wide defaults for :func:`run_cells` (set by the CLI)."""
+
+    jobs: int = 1
+    cache: ResultCache | None = None
+
+
+_settings = EngineSettings()
+
+#: In-process memo: spec -> result (the figure drivers share many cells).
+_memo: dict[CellSpec, RunResult] = {}
+
+
+def configure(
+    jobs: int | None = None,
+    use_cache: bool | None = None,
+    cache_dir: str | None = None,
+) -> EngineSettings:
+    """Set the process-wide engine defaults; returns the live settings.
+
+    ``jobs <= 0`` means "use every core". ``use_cache=True`` attaches a
+    persistent :class:`ResultCache` (at *cache_dir* when given);
+    ``use_cache=False`` detaches it.
+    """
+    if jobs is not None:
+        _settings.jobs = jobs if jobs > 0 else (os.cpu_count() or 1)
+    if use_cache is not None:
+        if use_cache:
+            _settings.cache = (
+                ResultCache(directory=cache_dir) if cache_dir else ResultCache()
+            )
+        else:
+            _settings.cache = None
+    elif cache_dir is not None and _settings.cache is not None:
+        _settings.cache = ResultCache(directory=cache_dir)
+    return _settings
+
+
+def settings() -> EngineSettings:
+    return _settings
+
+
+def reset_memo() -> None:
+    """Forget in-process results (tests; long-lived sessions)."""
+    _memo.clear()
+    _worker_traces.clear()
+
+
+# -- the runner --------------------------------------------------------------
+
+_UNSET = object()
+
+
+def run_cells(
+    specs: Sequence[CellSpec],
+    jobs: int | None = None,
+    cache: ResultCache | None | object = _UNSET,
+    progress: Callable[[int, int], None] | None = None,
+) -> list[RunResult]:
+    """Evaluate *specs* and return their results in input order.
+
+    Repeated specs are evaluated once. Results come from, in order: the
+    in-process memo, the persistent cache, then execution -- parallel
+    across ``jobs`` worker processes when ``jobs > 1`` and more than one
+    cell remains, serial otherwise. Worker results are committed in the
+    deterministic submission order, so the memo, the cache, and the
+    returned list are identical however the pool schedules.
+
+    *progress*, when given, is called with ``(completed, total)`` counts
+    after each fresh cell execution.
+    """
+    if jobs is None:
+        jobs = _settings.jobs
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    if cache is _UNSET:
+        cache = _settings.cache
+
+    unique: list[CellSpec] = []
+    seen: set[CellSpec] = set()
+    for spec in specs:
+        if spec not in seen:
+            seen.add(spec)
+            unique.append(spec)
+
+    todo: list[CellSpec] = []
+    for spec in unique:
+        if spec in _memo:
+            continue
+        if cache is not None:
+            hit = cache.get(spec.key())
+            if hit is not None:
+                _memo[spec] = hit
+                continue
+        todo.append(spec)
+
+    if todo:
+        executed = 0
+
+        def commit(spec: CellSpec, result: RunResult) -> None:
+            nonlocal executed
+            _memo[spec] = result
+            if cache is not None:
+                cache.put(spec.key(), result)
+            executed += 1
+            if progress is not None:
+                progress(executed, len(todo))
+
+        remaining = todo
+        if jobs > 1 and len(todo) > 1:
+            remaining = _run_pool(todo, min(jobs, len(todo)), commit)
+        for spec in remaining:
+            commit(spec, execute_cell(spec))
+
+    return [_memo[spec] for spec in specs]
+
+
+def _run_pool(
+    todo: list[CellSpec],
+    jobs: int,
+    commit: Callable[[CellSpec, RunResult], None],
+) -> list[CellSpec]:
+    """Fan *todo* over a process pool; returns cells still unevaluated.
+
+    Futures are drained in submission order so results commit
+    deterministically. A broken pool (killed worker, failed interpreter
+    spawn) returns the unfinished tail for the serial fallback instead of
+    raising; genuine simulation errors propagate unchanged.
+    """
+    try:
+        executor = ProcessPoolExecutor(max_workers=jobs)
+    except OSError:
+        return todo
+    with executor:
+        try:
+            futures = [(spec, executor.submit(execute_cell, spec)) for spec in todo]
+        except (BrokenProcessPool, OSError, RuntimeError):
+            return todo
+        for i, (spec, future) in enumerate(futures):
+            try:
+                result = future.result()
+            except (BrokenProcessPool, OSError):
+                # The pool died under us: everything not yet committed
+                # re-runs serially in this process.
+                return [spec for spec, _ in futures[i:]]
+            commit(spec, result)
+    return []
+
+
+def run_grid(
+    designs: Iterable[str],
+    schemes: Iterable[str],
+    benchmarks: Iterable[str],
+    config,
+    **kwargs,
+) -> dict[tuple[str, str, str], RunResult]:
+    """Evaluate the full (design, scheme, benchmark) cross product.
+
+    Returns a dict keyed by the coordinate triple, in deterministic
+    row-major order (designs outermost, benchmarks innermost).
+    """
+    coords = [
+        (design, scheme, benchmark)
+        for design in designs
+        for scheme in schemes
+        for benchmark in benchmarks
+    ]
+    specs = [spec_for(d, s, b, config) for d, s, b in coords]
+    results = run_cells(specs, **kwargs)
+    return dict(zip(coords, results))

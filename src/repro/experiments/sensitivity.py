@@ -18,11 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import config as repro_config
-from repro.core.system import NetworkedCacheSystem
 from repro.experiments.common import ExperimentConfig, geometric_mean
-from repro.workloads.generator import TraceGenerator
-from repro.workloads.profiles import profile_by_name
+from repro.experiments.runner import run_cells, spec_for
 
 BENCHMARKS = ("art", "twolf", "mcf")
 SCHEME = "multicast+fast_lru"
@@ -40,16 +37,34 @@ class SensitivityPoint:
         return self.ipc_f / self.ipc_a
 
 
-def _geomean_ipc(design: str, measure: int, seed: int) -> float:
-    ipcs = []
-    for name in BENCHMARKS:
-        profile = profile_by_name(name)
-        trace, warmup = TraceGenerator(profile, seed=seed).generate_with_warmup(
-            measure=measure
+def _sweep(
+    config: ExperimentConfig, parameter: str, values: tuple, overrides_of
+) -> list[SensitivityPoint]:
+    """One engine batch covering every (value, design, benchmark) cell.
+
+    The model override travels inside each :class:`CellSpec`, so workers
+    apply it locally (and restore it) instead of the sweep mutating
+    ``repro.config`` around serial runs.
+    """
+    specs = [
+        spec_for(design, SCHEME, benchmark, config, **overrides_of(value))
+        for value in values
+        for design in ("A", "F")
+        for benchmark in BENCHMARKS
+    ]
+    results = iter(run_cells(specs))
+    points = []
+    for value in values:
+        ipc = {
+            design: geometric_mean([next(results).ipc for _ in BENCHMARKS])
+            for design in ("A", "F")
+        }
+        points.append(
+            SensitivityPoint(
+                parameter=parameter, value=value, ipc_a=ipc["A"], ipc_f=ipc["F"]
+            )
         )
-        system = NetworkedCacheSystem(design=design, scheme=SCHEME)
-        ipcs.append(system.run(trace, profile, warmup=warmup).ipc)
-    return geometric_mean(ipcs)
+    return points
 
 
 def memory_latency_sweep(
@@ -58,22 +73,12 @@ def memory_latency_sweep(
 ) -> list[SensitivityPoint]:
     """Sweep the off-chip base latency (Table 1 uses 130 cycles)."""
     config = config or ExperimentConfig()
-    original = repro_config.MEMORY_BASE_LATENCY
-    points = []
-    try:
-        for base in base_latencies:
-            repro_config.MEMORY_BASE_LATENCY = base
-            points.append(
-                SensitivityPoint(
-                    parameter="memory_base_latency",
-                    value=base,
-                    ipc_a=_geomean_ipc("A", config.measure, config.seed),
-                    ipc_f=_geomean_ipc("F", config.measure, config.seed),
-                )
-            )
-    finally:
-        repro_config.MEMORY_BASE_LATENCY = original
-    return points
+    return _sweep(
+        config,
+        "memory_base_latency",
+        base_latencies,
+        lambda base: {"memory_base_latency": base},
+    )
 
 
 def wire_delay_sweep(
@@ -82,27 +87,12 @@ def wire_delay_sweep(
 ) -> list[SensitivityPoint]:
     """Scale every Table-1 wire delay by an integer factor."""
     config = config or ExperimentConfig()
-    original = {
-        capacity: dict(entry)
-        for capacity, entry in repro_config._BANK_TIMING.items()
-    }
-    points = []
-    try:
-        for scale in scales:
-            for capacity, entry in repro_config._BANK_TIMING.items():
-                entry["wire"] = original[capacity]["wire"] * scale
-            points.append(
-                SensitivityPoint(
-                    parameter="wire_delay_scale",
-                    value=scale,
-                    ipc_a=_geomean_ipc("A", config.measure, config.seed),
-                    ipc_f=_geomean_ipc("F", config.measure, config.seed),
-                )
-            )
-    finally:
-        for capacity, entry in repro_config._BANK_TIMING.items():
-            entry.update(original[capacity])
-    return points
+    return _sweep(
+        config,
+        "wire_delay_scale",
+        scales,
+        lambda scale: {"wire_delay_scale": scale},
+    )
 
 
 def render(points: list[SensitivityPoint], title: str) -> str:

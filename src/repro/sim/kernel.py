@@ -16,7 +16,7 @@ from typing import Any, Callable
 from repro.errors import SimulationError
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
@@ -28,10 +28,20 @@ class Event:
     sequence: int
     callback: Callable[[], Any] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Owning queue, so a cancel can keep its live-event count exact.
+    owner: "EventQueue | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Prevent this event from firing. Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.owner is not None:
+                self.owner._note_cancel()
+
+
+#: Sweep cancelled events out of the heap once they outnumber live ones
+#: (and the heap is at least this big), bounding memory on cancel-heavy runs.
+_COMPACT_MIN_HEAP = 64
 
 
 class EventQueue:
@@ -40,29 +50,52 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._cancelled = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of live (non-cancelled) events, in O(1)."""
+        return len(self._heap) - self._cancelled
 
     def push(self, time: int, callback: Callable[[], Any]) -> Event:
         """Schedule *callback* at absolute *time* and return its event."""
-        event = Event(time=time, sequence=next(self._counter), callback=callback)
+        event = Event(
+            time=time, sequence=next(self._counter), callback=callback, owner=self
+        )
         heapq.heappush(self._heap, event)
         return event
 
     def pop(self) -> Event | None:
         """Remove and return the earliest live event, or ``None`` if empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
             if not event.cancelled:
+                event.owner = None  # late cancels must not skew the count
                 return event
+            self._cancelled -= 1
         return None
 
     def peek_time(self) -> int | None:
         """Time of the earliest live event, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        return heap[0].time if heap else None
+
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+        heap = self._heap
+        if len(heap) >= _COMPACT_MIN_HEAP and self._cancelled * 2 > len(heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events; heap order is (time, sequence), which
+        filtering preserves, so a re-heapify keeps FIFO-within-timestamp."""
+        live = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(live)
+        self._heap = live
+        self._cancelled = 0
 
 
 class Simulator:

@@ -11,11 +11,16 @@ serve it first.
 
 Reservations already granted are never displaced (no preemption), which
 keeps the model causal and deterministic.
+
+The busy list is kept as two parallel sorted lists (interval starts and
+ends), so placement is a binary search plus a short forward scan from the
+first candidate gap instead of a linear walk over every reservation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from bisect import bisect_right
+from dataclasses import dataclass
 
 from repro.errors import SimulationError
 
@@ -38,7 +43,6 @@ class FloorClock:
         self.time = 0
 
 
-@dataclass
 class Resource:
     """A single-server resource granting earliest-fit time intervals.
 
@@ -47,13 +51,33 @@ class Resource:
     busy list stays short over long runs.
     """
 
-    name: str = "resource"
-    busy_cycles: int = 0
-    grants: int = 0
-    queued_cycles: int = 0
-    floor_clock: FloorClock | None = None
-    _intervals: list[tuple[int, int]] = field(default_factory=list)
-    _floor: int = 0
+    __slots__ = (
+        "name",
+        "busy_cycles",
+        "grants",
+        "queued_cycles",
+        "floor_clock",
+        "_starts",
+        "_ends",
+        "_floor",
+    )
+
+    def __init__(
+        self, name: str = "resource", floor_clock: FloorClock | None = None
+    ) -> None:
+        self.name = name
+        self.busy_cycles = 0
+        self.grants = 0
+        self.queued_cycles = 0
+        self.floor_clock = floor_clock
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+        self._floor = 0
+
+    @property
+    def _intervals(self) -> list[tuple[int, int]]:
+        """Busy intervals as (start, end) pairs (for tests/debugging)."""
+        return list(zip(self._starts, self._ends))
 
     def acquire(self, time: int, duration: int) -> int:
         """Reserve *duration* cycles at the earliest gap at/after *time*.
@@ -62,23 +86,26 @@ class Resource:
         """
         if duration < 0:
             raise SimulationError(f"{self.name}: negative duration {duration}")
-        start = max(time, 0)
+        start = time if time > 0 else 0
         if duration == 0:
             self.grants += 1
             return start
         self._prune()
-        intervals = self._intervals
-        placed_at = None
-        for i, (busy_start, busy_end) in enumerate(intervals):
-            if start + duration <= busy_start:
-                placed_at = i
-                break
-            start = max(start, busy_end)
-        if placed_at is None:
-            intervals.append((start, start + duration))
-        else:
-            intervals.insert(placed_at, (start, start + duration))
-        self.queued_cycles += start - time if start > time else 0
+        starts = self._starts
+        ends = self._ends
+        # All reservations starting at or before `start` are behind us; only
+        # the latest of them can still be busy (intervals are disjoint).
+        i = bisect_right(starts, start)
+        if i and ends[i - 1] > start:
+            start = ends[i - 1]
+        n = len(starts)
+        while i < n and starts[i] - start < duration:
+            start = ends[i]
+            i += 1
+        starts.insert(i, start)
+        ends.insert(i, start + duration)
+        if start > time:
+            self.queued_cycles += start - time
         self.busy_cycles += duration
         self.grants += 1
         return start
@@ -90,32 +117,26 @@ class Resource:
 
     def _prune(self) -> None:
         floor = self._floor
-        if self.floor_clock is not None and self.floor_clock.time > floor:
-            floor = self.floor_clock.time
-        if not self._intervals or floor <= 0:
+        clock = self.floor_clock
+        if clock is not None and clock.time > floor:
+            floor = self._floor = clock.time
+        ends = self._ends
+        if not ends or floor <= 0:
             return
-        keep_from = 0
-        for keep_from, (_, busy_end) in enumerate(self._intervals):
-            if busy_end > floor:
-                break
-        else:
-            keep_from += 1
+        keep_from = bisect_right(ends, floor)
         if keep_from:
-            del self._intervals[:keep_from]
+            del self._starts[:keep_from]
+            del ends[:keep_from]
 
     def is_free_at(self, time: int) -> bool:
         """True if an acquire of length 1 at *time* would start immediately."""
-        for busy_start, busy_end in self._intervals:
-            if busy_start <= time < busy_end:
-                return False
-            if busy_start > time:
-                break
-        return True
+        i = bisect_right(self._starts, time)
+        return not i or self._ends[i - 1] <= time
 
     @property
     def next_free(self) -> int:
         """End of the last reservation (0 when idle)."""
-        return self._intervals[-1][1] if self._intervals else 0
+        return self._ends[-1] if self._ends else 0
 
     def utilization(self, horizon: int) -> float:
         """Fraction of ``[0, horizon)`` the resource was busy."""
@@ -125,14 +146,17 @@ class Resource:
 
     def reset(self) -> None:
         """Return the resource to its initial idle state, keeping its name."""
-        self._intervals.clear()
+        self._starts.clear()
+        self._ends.clear()
         self._floor = 0
         self.busy_cycles = 0
         self.grants = 0
         self.queued_cycles = 0
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Resource(name={self.name!r}, reservations={len(self._starts)})"
 
-@dataclass
+
 class OccupancyTracker:
     """A k-server resource (e.g. the 2-entry spike issue queue of a halo).
 
@@ -141,26 +165,26 @@ class OccupancyTracker:
     limited concurrency rather than strict single occupancy.
     """
 
-    servers: int
-    name: str = "tracker"
-    _free_at: list[int] = field(default_factory=list)
-    grants: int = 0
-    queued_cycles: int = 0
+    __slots__ = ("servers", "name", "_free_at", "grants", "queued_cycles")
 
-    def __post_init__(self) -> None:
-        if self.servers <= 0:
-            raise SimulationError(f"{self.name}: servers must be positive")
-        if not self._free_at:
-            self._free_at = [0] * self.servers
+    def __init__(self, servers: int, name: str = "tracker") -> None:
+        if servers <= 0:
+            raise SimulationError(f"{name}: servers must be positive")
+        self.servers = servers
+        self.name = name
+        self._free_at = [0] * servers
+        self.grants = 0
+        self.queued_cycles = 0
 
     def acquire(self, time: int, duration: int) -> int:
         """Reserve one server for *duration* cycles at or after *time*."""
         if duration < 0:
             raise SimulationError(f"{self.name}: negative duration {duration}")
-        best = min(range(self.servers), key=lambda i: self._free_at[i])
-        start = max(time, self._free_at[best])
+        free_at = self._free_at
+        best = min(range(self.servers), key=free_at.__getitem__)
+        start = max(time, free_at[best])
         self.queued_cycles += start - time
-        self._free_at[best] = start + duration
+        free_at[best] = start + duration
         self.grants += 1
         return start
 
@@ -169,3 +193,6 @@ class OccupancyTracker:
         self._free_at = [0] * self.servers
         self.grants = 0
         self.queued_cycles = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OccupancyTracker(servers={self.servers}, name={self.name!r})"

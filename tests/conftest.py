@@ -6,6 +6,24 @@ from repro.cache.address import AddressMapper
 from repro.experiments.common import ExperimentConfig
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _cache_in_tmp(tmp_path_factory):
+    """Point the persistent result cache away from the working tree.
+
+    CLI tests drive ``main()`` with caching enabled (the default); the
+    entries they write must not land in a developer's ``.repro-cache``.
+    """
+    import os
+
+    original = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if original is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = original
+
+
 @pytest.fixture
 def mapper() -> AddressMapper:
     return AddressMapper()

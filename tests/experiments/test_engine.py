@@ -1,0 +1,209 @@
+"""The parallel experiment engine and its persistent result cache.
+
+The engine's contract is determinism: parallel, serial, and cached
+evaluations of the same :class:`CellSpec` must be bit-identical, and the
+persistent cache must invalidate on code changes and survive corruption.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.flows import make_scheme
+from repro.core.system import RunResult
+from repro.experiments.cache import ResultCache, code_fingerprint
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.runner import (
+    CellSpec,
+    execute_cell,
+    reset_memo,
+    run_cells,
+    spec_for,
+)
+
+ENGINE_CONFIG = ExperimentConfig(measure=300)
+
+
+def _result_fields(result: RunResult) -> tuple:
+    """Every numeric observable a figure could read off a result."""
+    return (
+        result.design,
+        result.scheme,
+        result.accesses,
+        result.cycles,
+        result.ipc,
+        result.average_latency,
+        result.average_hit_latency,
+        result.average_miss_latency,
+        result.hit_rate,
+        result.latency.network_sum,
+        result.latency.bank_sum,
+        result.latency.memory_sum,
+    )
+
+
+def _sweep_specs() -> list[CellSpec]:
+    """The ISSUE's reference sweep: 2 designs x 3 benchmarks."""
+    return [
+        spec_for(design, "multicast+fast_lru", benchmark, ENGINE_CONFIG)
+        for design in ("A", "F")
+        for benchmark in ("art", "twolf", "mcf")
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_engine():
+    reset_memo()
+    yield
+    reset_memo()
+
+
+class TestRunCells:
+    def test_parallel_bit_identical_to_serial(self):
+        specs = _sweep_specs()
+        serial = run_cells(specs, jobs=1, cache=None)
+        reset_memo()
+        parallel = run_cells(specs, jobs=2, cache=None)
+        assert len(serial) == len(parallel) == 6
+        for s, p in zip(serial, parallel):
+            assert _result_fields(s) == _result_fields(p)
+
+    def test_results_in_input_order_with_duplicates(self):
+        spec = _sweep_specs()[0]
+        other = _sweep_specs()[1]
+        results = run_cells([spec, other, spec], jobs=1, cache=None)
+        assert results[0] is results[2]
+        assert results[0].design != results[1].design or (
+            _result_fields(results[0]) != _result_fields(results[1])
+        )
+
+    def test_memo_shared_across_batches(self):
+        spec = _sweep_specs()[0]
+        first = run_cells([spec], jobs=1, cache=None)[0]
+        again = run_cells([spec], jobs=1, cache=None)[0]
+        assert again is first
+
+    def test_scheme_aliases_share_a_cell(self):
+        canonical = spec_for("A", "multicast+fast_lru", "art", ENGINE_CONFIG)
+        for alias in ("multicast+fastlru", "MC+Fast-LRU", "mc+fast lru"):
+            assert spec_for("A", alias, "art", ENGINE_CONFIG) == canonical
+
+
+class TestResultCache:
+    def test_hit_returns_identical_result(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        spec = _sweep_specs()[0]
+        fresh = run_cells([spec], jobs=1, cache=cache)[0]
+        assert cache.stats.stores == 1
+        reset_memo()
+        cached = run_cells([spec], jobs=1, cache=cache)[0]
+        assert cache.stats.hits == 1
+        assert _result_fields(cached) == _result_fields(fresh)
+
+    def test_fingerprint_change_invalidates(self, tmp_path):
+        spec = _sweep_specs()[0]
+        old = ResultCache(directory=tmp_path, fingerprint="aaaa")
+        run_cells([spec], jobs=1, cache=old)
+        reset_memo()
+        new = ResultCache(directory=tmp_path, fingerprint="bbbb")
+        run_cells([spec], jobs=1, cache=new)
+        assert new.stats.misses == 1
+        assert new.stats.hits == 0
+        # Both fingerprints' entries coexist; neither clobbered the other.
+        assert len(new) == 2
+
+    def test_corrupted_entry_discarded_not_fatal(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        spec = _sweep_specs()[0]
+        fresh = run_cells([spec], jobs=1, cache=cache)[0]
+        [entry] = tmp_path.glob("*.pkl")
+        entry.write_bytes(b"not a pickle at all")
+        reset_memo()
+        rerun = run_cells([spec], jobs=1, cache=cache)[0]
+        assert cache.stats.discarded == 1
+        assert cache.stats.hits == 0
+        assert _result_fields(rerun) == _result_fields(fresh)
+
+    def test_wrong_payload_key_discarded(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        key = ("cell", ("design", "A"))
+        cache.put(key, "value")
+        [entry] = tmp_path.glob("*.pkl")
+        entry.write_bytes(
+            pickle.dumps({"key": ("something", "else"), "value": "forged"})
+        )
+        assert cache.get(key) is None
+        assert cache.stats.discarded == 1
+        assert len(cache) == 0
+
+    def test_unwritable_directory_is_not_fatal(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        cache = ResultCache(directory=blocker / "sub", fingerprint="f")
+        cache.put(("k",), "value")  # must not raise
+        assert cache.stats.write_failures == 1
+        assert cache.stats.stores == 0
+        assert cache.get(("k",)) is None
+
+    def test_round_trip_and_clear(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, fingerprint="fixed")
+        cache.put(("k",), {"x": 1})
+        assert cache.get(("k",)) == {"x": 1}
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert cache.get(("k",)) is None
+
+    def test_fingerprint_is_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 20
+
+
+class TestCellSpec:
+    def test_spec_is_picklable_and_hashable(self):
+        spec = _sweep_specs()[0]
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert spec in {spec}
+
+    def test_key_covers_every_field(self):
+        spec = _sweep_specs()[0]
+        names = {name for name, _ in spec.key()[1:]}
+        assert names == {f.name for f in dataclasses.fields(CellSpec)}
+
+    def test_override_fields_reach_the_model(self):
+        # mcf at this scale actually misses, so the off-chip latency
+        # override must show up in the miss path.
+        config = ExperimentConfig(measure=600)
+        base = spec_for("A", "multicast+fast_lru", "mcf", config)
+        slow = dataclasses.replace(base, memory_base_latency=500)
+        base_result = execute_cell(base)
+        slow_result = execute_cell(slow)
+        assert base_result.latency.miss_count > 0
+        assert (
+            slow_result.average_miss_latency > base_result.average_miss_latency
+        )
+
+
+class TestSchemeAliases:
+    def test_fastlru_spellings_accepted(self):
+        for name in ("multicast+fastlru", "multicast+fast-lru",
+                     "multicast+fast_lru"):
+            assert make_scheme(name).name == "multicast+fast_lru"
+
+    def test_unknown_scheme_error_lists_spellings(self):
+        from repro.errors import ConfigurationError, ProtocolError
+
+        with pytest.raises(ConfigurationError, match="fast_lru"):
+            make_scheme("multicast+bogus")
+        with pytest.raises(ProtocolError, match="multicast"):
+            make_scheme("teleport+lru")
+        with pytest.raises(ProtocolError, match="fast_lru"):
+            make_scheme("justonename")
+
+    def test_policy_by_name_aliases(self):
+        from repro.cache.replacement import policy_by_name
+
+        assert type(policy_by_name("fastlru")) is type(policy_by_name("fast_lru"))
+        assert type(policy_by_name("Fast-LRU")) is type(policy_by_name("fast_lru"))
+        with pytest.raises(Exception, match="fastlru"):
+            policy_by_name("bogus")

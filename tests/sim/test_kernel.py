@@ -56,6 +56,54 @@ class TestEventQueue:
         assert queue.pop() is None
         assert queue.peek_time() is None
 
+    def test_len_is_constant_time_bookkeeping(self):
+        queue = EventQueue()
+        events = [queue.push(t, lambda: None) for t in range(10)]
+        for event in events[::2]:
+            event.cancel()
+        assert len(queue) == 5
+
+    def test_mass_cancellation_compacts_heap(self):
+        queue = EventQueue()
+        keep = queue.push(1_000_000, lambda: None)
+        events = [queue.push(t, lambda: None) for t in range(200)]
+        for event in events:
+            event.cancel()
+        # Cancelled events outnumber live ones; the sweep must have
+        # physically removed them rather than leaving tombstones.
+        assert len(queue._heap) < 100
+        assert len(queue) == 1
+        assert queue.pop() is keep
+
+    def test_compaction_preserves_fifo_order(self):
+        queue = EventQueue()
+        order = []
+        live = [queue.push(5, lambda t=tag: order.append(t)) for tag in "abc"]
+        doomed = [queue.push(1, lambda: order.append("x")) for _ in range(200)]
+        for event in doomed:
+            event.cancel()
+        assert len(queue) == len(live)
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert order == ["a", "b", "c"]
+
+    def test_double_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(1, lambda: None)
+        queue.push(2, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_after_pop_does_not_corrupt_len(self):
+        queue = EventQueue()
+        event = queue.push(1, lambda: None)
+        queue.push(2, lambda: None)
+        popped = queue.pop()
+        assert popped is event
+        event.cancel()  # too late: already out of the queue
+        assert len(queue) == 1
+
 
 class TestSimulator:
     def test_time_advances_to_event(self):
