@@ -154,6 +154,47 @@ def bench_acquire(n: int = 10_000) -> dict:
     }
 
 
+def bench_telemetry(measure: int) -> dict:
+    """Telemetry overhead on one cell: disabled vs JSONL-traced.
+
+    ``disabled_overhead`` is the regression the ISSUE bounds at 5%: the
+    cost of having instrumentation compiled in but no sink installed,
+    relative to the best observed cell time. ``traced_ratio`` is the
+    opt-in price of full JSONL tracing.
+    """
+    from repro.experiments.runner import execute_cell
+    from repro.telemetry import open_sink, set_sink
+
+    spec = _sweep_specs(measure)[0]
+    execute_cell(spec)  # warm trace/import caches outside timed runs
+
+    def timed(repeats: int = 3) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            execute_cell(spec)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    disabled_s = timed()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-trace-") as tmp:
+        sink = open_sink(pathlib.Path(tmp) / "cell.jsonl", "jsonl")
+        previous = set_sink(sink)
+        try:
+            traced_s = timed()
+        finally:
+            set_sink(previous)
+            sink.close()
+        events = sink.events_written
+    return {
+        "measure": measure,
+        "disabled_cell_s": round(disabled_s, 4),
+        "traced_cell_s": round(traced_s, 4),
+        "traced_ratio": round(traced_s / disabled_s, 3),
+        "trace_events": events,
+    }
+
+
 def render(payload: dict) -> str:
     sweep, acquire = payload["sweep"], payload["acquire"]
     lines = [
@@ -181,6 +222,16 @@ def render(payload: dict) -> str:
         f"(x{acquire['speedup']:.1f})",
         f"  identical grants: {acquire['identical_grants']}",
     ]
+    telemetry = payload.get("telemetry")
+    if telemetry:
+        lines += [
+            "",
+            f"Telemetry, one cell at measure={telemetry['measure']}:",
+            f"  disabled (null sink) {telemetry['disabled_cell_s']:8.4f} s",
+            f"  JSONL traced         {telemetry['traced_cell_s']:8.4f} s  "
+            f"(x{telemetry['traced_ratio']:.2f}, "
+            f"{telemetry['trace_events']} events)",
+        ]
     return "\n".join(lines)
 
 
@@ -201,6 +252,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "sweep": bench_sweep(args.measure, jobs),
         "acquire": bench_acquire(),
+        "telemetry": bench_telemetry(args.measure),
     }
 
     text = render(payload)

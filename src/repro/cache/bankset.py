@@ -200,3 +200,21 @@ class BankSetStats:
         if not self.hits:
             return 0.0
         return self.hits_per_bank.get(0, 0) / self.hits
+
+    def publish_metrics(self, registry) -> None:
+        """Export content counters into a telemetry registry."""
+        registry.counter("cache.bankset.hits").set(self.hits)
+        registry.counter("cache.bankset.misses").set(self.misses)
+        registry.counter("cache.bankset.writebacks").set(self.writebacks)
+        registry.counter("cache.bankset.boundary_moves").set(
+            self.boundary_moves
+        )
+        registry.counter("cache.bankset.hits_mru").set(
+            self.hits_per_bank.get(0, 0)
+        )
+        # Replacement-policy view of the same run: every miss triggers a
+        # fill, and a dirty victim becomes a write-back.
+        registry.counter("cache.replacement.fills").set(self.misses)
+        registry.counter("cache.replacement.dirty_evictions").set(
+            self.writebacks
+        )

@@ -57,6 +57,9 @@ def cmd_run(args: argparse.Namespace) -> str:
             design=args.design, scheme=args.scheme, early_miss_detection=True
         )
         result = system.run(trace, profile, warmup=warmup)
+        from repro.telemetry import merge_run
+
+        merge_run(result)
     else:
         from repro.experiments.common import run_system
 
@@ -146,6 +149,10 @@ def cmd_snuca(args: argparse.Namespace) -> str:
     dnuca = NetworkedCacheSystem(
         design=args.design, scheme="multicast+fast_lru"
     ).run(trace, profile, warmup=warmup)
+    from repro.telemetry import merge_run
+
+    merge_run(snuca)
+    merge_run(dnuca)
     return "\n".join(
         [
             f"benchmark {args.benchmark}, design {args.design}",
@@ -190,6 +197,9 @@ def cmd_energy(args: argparse.Namespace) -> str:
     )
     system = NetworkedCacheSystem(design=args.design, scheme=args.scheme)
     result = system.run(trace, profile, warmup=warmup)
+    from repro.telemetry import merge_run
+
+    merge_run(result)
     report = EnergyMeter().measure(system, result)
     gating = simulate_gating(
         system, result, GatingPolicy(idle_threshold=args.gate_threshold)
@@ -234,6 +244,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="result cache location (default .repro-cache, "
                             "or $REPRO_CACHE_DIR)")
+        p.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the merged telemetry metrics, run "
+                            "provenance, and batch journal as JSON")
+        p.add_argument("--trace", default=None, metavar="PATH",
+                       help="record per-flit/per-transaction lifecycle "
+                            "events (forces --jobs 1 and --no-cache)")
+        p.add_argument("--trace-format", choices=("jsonl", "chrome"),
+                       default="jsonl",
+                       help="trace encoding: jsonl lines or a Chrome "
+                            "trace_event file loadable in Perfetto")
 
     run = sub.add_parser("run", help="simulate one configuration")
     run.add_argument("--design", choices=DESIGN_NAMES, default="A")
@@ -303,14 +323,49 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro import telemetry
     from repro.experiments import runner
 
+    jobs = args.jobs
+    use_cache = not args.no_cache
+    sink = None
+    if args.trace:
+        sink = telemetry.open_sink(args.trace, args.trace_format)
+        if jobs != 1 or use_cache:
+            print(
+                "note: --trace forces --jobs 1 and --no-cache (worker "
+                "processes and cache replays produce no trace events)",
+                file=sys.stderr,
+            )
+        jobs = 1
+        use_cache = False
     runner.configure(
-        jobs=args.jobs,
-        use_cache=not args.no_cache,
+        jobs=jobs,
+        use_cache=use_cache,
         cache_dir=args.cache_dir,
     )
-    print(args.handler(args))
+    previous = telemetry.set_sink(sink) if sink is not None else None
+    try:
+        print(args.handler(args))
+    finally:
+        if sink is not None:
+            telemetry.set_sink(previous)
+            sink.close()
+    batch = runner.last_batch()
+    if batch is not None:
+        print(batch.summary(), file=sys.stderr)
+    if args.metrics_out:
+        import json
+
+        payload = {
+            "metrics": telemetry.global_registry().snapshot(),
+            "provenance": telemetry.provenance_block(),
+            "journal": runner.journal_payload(),
+        }
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
     return 0
 
 

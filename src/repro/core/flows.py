@@ -35,6 +35,8 @@ from repro.cache.replacement import ReplacementPolicy
 from repro.config import packet_flits
 from repro.core.geometry import CacheGeometry
 from repro.errors import ProtocolError
+from repro.telemetry import trace as _trace
+from repro.telemetry.registry import CHAIN_DEPTH_EDGES, MetricsRegistry
 
 CONTROL = packet_flits(carries_block=False)
 DATA = packet_flits(carries_block=True)
@@ -107,10 +109,19 @@ class TransactionEngine:
         geometry: CacheGeometry,
         memory: MemoryModel,
         scheme: Scheme,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.geometry = geometry
         self.memory = memory
         self.scheme = scheme
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Per-access replacement-chain length in banks (Fast-LRU's whole
+        #: point is keeping this off the critical path; the histogram shows
+        #: it actually pipelining). The object survives registry resets.
+        self._chain_depths = self.metrics.histogram(
+            "cache.bankset.eviction_chain_depth", CHAIN_DEPTH_EDGES
+        )
+        self._sink = _trace.NULL_SINK
         #: Per-column transaction slots: the cache controller admits one
         #: transaction per bank-set column at a time on meshes, and two per
         #: spike on halos (the paper's 2-entry spike issue queues). Each
@@ -156,6 +167,7 @@ class TransactionEngine:
         self.geometry.floor_clock.advance(issue_time)
         self._spine_bank_cycles = 0
         self._core = core_node
+        self._sink = sink = _trace.current_sink()
         slots = self._column_slots[column]
         slot = min(range(len(slots)), key=slots.__getitem__)
         start = max(issue_time, slots[slot])
@@ -169,6 +181,14 @@ class TransactionEngine:
         if timing.settled < timing.data_at_core:
             timing.settled = timing.data_at_core
         slots[slot] = timing.settled
+        if sink.enabled:
+            sink.complete(
+                "hit" if timing.hit else "miss", "cache.txn", issue_time,
+                timing.completion - issue_time, tid=f"column-{column}",
+                args={"bank": timing.bank_position,
+                      "data_at_core": timing.data_at_core,
+                      "settled": timing.settled, "write": is_write},
+            )
         return timing
 
     def execute_early_miss(
@@ -188,6 +208,7 @@ class TransactionEngine:
         self.geometry.floor_clock.advance(issue_time)
         self._spine_bank_cycles = 0
         self._core = core_node
+        self._sink = sink = _trace.current_sink()
         slots = self._column_slots[column]
         slot = min(range(len(slots)), key=slots.__getitem__)
         start = max(issue_time, slots[slot])
@@ -206,6 +227,13 @@ class TransactionEngine:
         if timing.settled < timing.data_at_core:
             timing.settled = timing.data_at_core
         slots[slot] = timing.settled
+        if sink.enabled:
+            sink.complete(
+                "early_miss", "cache.txn", issue_time,
+                timing.completion - issue_time, tid=f"column-{column}",
+                args={"data_at_core": timing.data_at_core,
+                      "settled": timing.settled, "write": is_write},
+            )
         return timing
 
     # -- bank helpers ---------------------------------------------------------
@@ -315,6 +343,12 @@ class TransactionEngine:
                 charge=False,
             )
             done.append(finish)
+        if self._sink.enabled:
+            self._sink.complete(
+                "multicast", "cache.txn", t0, max(done) - t0,
+                tid=f"column-{column}",
+                args={"banks": banks, "first_arrival": arrivals[0]},
+            )
 
         if hit_pos is not None:
             hit_bank_latency = self._bank_latency(column, hit_pos, replace=False)
@@ -470,6 +504,16 @@ class TransactionEngine:
         # to the core as its flits stream in.
         fill_tail = self.geometry.memory_to_bank(column, 0, data_ready, DATA)
         fill_write, _ = self._bank_acquire(column, 0, fill_tail, replace=True)
+        if self._sink.enabled:
+            self._sink.complete(
+                "memory", "cache.txn", mem_request, memory_cycles,
+                tid=f"column-{column}",
+            )
+            self._sink.complete(
+                "mru_fill", "cache.txn", self._head(fill_tail, DATA),
+                fill_write - self._head(fill_tail, DATA),
+                tid=f"column-{column}",
+            )
         data_at_core, _ = self.geometry.bank_to_core(
             column, 0, self._head(fill_tail, DATA), DATA, core=self._core
         )
@@ -536,6 +580,7 @@ class TransactionEngine:
         replacement after a fill). Each link is gated by the head flit of
         the incoming block (cut-through: the tail streams into the frame
         while the next link's victim already departs)."""
+        self._chain_depths.record(max(0, last - first))
         current = start
         for position in range(first, last):
             tail = self.geometry.bank_to_bank(
@@ -544,8 +589,16 @@ class TransactionEngine:
             current, _ = self._bank_acquire(
                 column, position + 1, self._head(tail, DATA), replace=True
             )
+        if last <= first:
+            return current
         # The last block's tail must fully land before the set settles.
-        return current + (DATA - 1) if last > first else current
+        current += DATA - 1
+        if self._sink.enabled:
+            self._sink.complete(
+                "chain", "cache.txn", start, current - start,
+                tid=f"column-{column}", args={"links": last - first},
+            )
+        return current
 
     def _fast_chain(self, column: int, done: list[int], stop: int) -> int:
         """Fast-LRU eviction chain (Fig. 3): bank 0's victim moves to bank 1
@@ -554,7 +607,9 @@ class TransactionEngine:
         predecessor's block. The chain is absorbed at bank *stop* (the hit
         bank's freed frame, or the LRU bank on a global miss)."""
         if stop <= 0:
+            self._chain_depths.record(0)
             return done[0]
+        self._chain_depths.record(stop)
         current = done[0]
         for position in range(1, stop + 1):
             tail = self.geometry.bank_to_bank(
@@ -562,7 +617,13 @@ class TransactionEngine:
             )
             ready = max(self._head(tail, DATA), done[position])
             current, _ = self._bank_acquire(column, position, ready, replace=True)
-        return current + (DATA - 1)
+        current += DATA - 1
+        if self._sink.enabled:
+            self._sink.complete(
+                "fast_chain", "cache.txn", done[0], current - done[0],
+                tid=f"column-{column}", args={"links": stop},
+            )
+        return current
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TransactionEngine(scheme={self.scheme.name})"

@@ -61,6 +61,14 @@ class CacheGeometry:
                 s: OccupancyTracker(spike_queue_entries, name=f"spike-queue-{s}")
                 for s in range(len(columns))
             }
+        #: Uncontended path cost per (src, dst), filled lazily with _plans.
+        self._plan_costs: dict[tuple[NodeId, NodeId], int] = {}
+        #: Per-(column, entry node) total uncontended cost of the multicast
+        #: replication chain, resolved once.
+        self._multicast_costs: dict[tuple[int, NodeId], int] = {}
+        #: Cycles multicast deliveries lost to channel contention -- the
+        #: transaction-level analogue of replica-blocked router cycles.
+        self.multicast_blocked_cycles = 0
         self._validate()
 
     def _validate(self) -> None:
@@ -118,6 +126,7 @@ class CacheGeometry:
     def reset_contention(self) -> None:
         """Clear all resource occupancy (fresh run, same layout)."""
         self.floor_clock.reset()
+        self.multicast_blocked_cycles = 0
         for resource in self._channel_resources.values():
             resource.reset()
         for resource in self._bank_resources.values():
@@ -125,6 +134,44 @@ class CacheGeometry:
         if self._spike_queues is not None:
             for tracker in self._spike_queues.values():
                 tracker.reset()
+
+    def publish_metrics(self, registry) -> None:
+        """Export contention counters into a telemetry registry.
+
+        The transaction-level model has no explicit VCs; a channel grant
+        that could not start at its requested cycle is the analogue of a
+        failed same-cycle VC allocation, so channel waits are published
+        under the ``noc.router`` names the flit-level router also uses.
+        """
+        channels = self._channel_resources.values()
+        registry.counter("noc.router.vc_alloc_failures").set(
+            sum(r.waits for r in channels)
+        )
+        registry.counter("noc.router.vc_alloc_wait_cycles").set(
+            sum(r.queued_cycles for r in channels)
+        )
+        registry.counter("noc.router.channel_busy_cycles").set(
+            sum(r.busy_cycles for r in channels)
+        )
+        registry.counter("noc.router.multicast_replica_blocked_cycles").set(
+            self.multicast_blocked_cycles
+        )
+        banks = self._bank_resources.values()
+        registry.counter("cache.bank.grants").set(sum(r.grants for r in banks))
+        registry.counter("cache.bank.busy_cycles").set(
+            sum(r.busy_cycles for r in banks)
+        )
+        registry.counter("cache.bank.wait_cycles").set(
+            sum(r.queued_cycles for r in banks)
+        )
+        if self._spike_queues is not None:
+            trackers = self._spike_queues.values()
+            registry.counter("noc.spike.queue_waits").set(
+                sum(t.waits for t in trackers)
+            )
+            registry.counter("noc.spike.queue_wait_cycles").set(
+                sum(t.queued_cycles for t in trackers)
+            )
 
     # -- timing primitives ----------------------------------------------------
 
@@ -197,13 +244,46 @@ class CacheGeometry:
         arrivals: list[int] = []
         head = time
         src = core if core is not None else self.core_node
+        chain_cost = self._multicast_costs.get((column, src))
+        if chain_cost is None:
+            chain_cost = self._multicast_chain_cost(column, src, flits)
         for position in range(self.banks_per_column(column)):
             dst = self.bank_node(column, position)
             arrival, _ = self.traverse(src, dst, head, flits)
             arrivals.append(arrival)
             head = arrival
             src = dst
+        # A grant never starts before its request, so each segment's actual
+        # arrival >= its uncontended arrival; the chain's total slip is the
+        # final arrival minus the zero-contention chain cost.
+        self.multicast_blocked_cycles += head - time - chain_cost
         return arrivals
+
+    def _multicast_chain_cost(
+        self, column: int, src: NodeId, flits: int
+    ) -> int:
+        """Total uncontended cost of the column's replication chain."""
+        entry = src
+        total = 0
+        for position in range(self.banks_per_column(column)):
+            dst = self.bank_node(column, position)
+            total += self._uncontended_cost(src, dst, flits)
+            src = dst
+        self._multicast_costs[(column, entry)] = total
+        return total
+
+    def _uncontended_cost(self, src: NodeId, dst: NodeId, flits: int) -> int:
+        """Zero-contention traversal cost of (src, dst) for *flits* flits."""
+        if src == dst:
+            return 0
+        cost = self._plan_costs.get((src, dst))
+        if cost is None:
+            plan = self._plans.get((src, dst))
+            if plan is None:
+                plan = self._plan(src, dst)
+            cost = sum(hop_cost for _, hop_cost, _ in plan)
+            self._plan_costs[(src, dst)] = cost
+        return cost + (flits - 1)
 
     # -- common endpoints -----------------------------------------------------
 

@@ -47,6 +47,14 @@ class RunResult:
     content: BankSetStats = field(repr=False)
     memory_reads: int = 0
     memory_writebacks: int = 0
+    #: Telemetry snapshot of the measurement window (deterministic dict);
+    #: excluded from equality so the bit-identical cache contract holds.
+    metrics: dict | None = field(default=None, repr=False, compare=False)
+    #: Run provenance block (config fingerprint, seed, scheme, ...).
+    provenance: dict | None = field(default=None, repr=False, compare=False)
+    #: Wall-clock seconds spent computing this cell (None when replayed
+    #: from cache); never part of equality or the cache fingerprint.
+    wall_s: float | None = field(default=None, repr=False, compare=False)
 
     @property
     def average_latency(self) -> float:
@@ -155,6 +163,7 @@ class NetworkedCacheSystem:
                     self.memory.reset()
                     self.geometry.reset_contention()
                     self.engine.reset()
+                    self.engine.metrics.reset()
                 continue
             issue_time = issue.issue_time(access.gap_instructions)
             if early_miss:
@@ -188,4 +197,23 @@ class NetworkedCacheSystem:
             content=self.array.stats,
             memory_reads=self.memory.reads,
             memory_writebacks=self.memory.writebacks,
+            metrics=self._collect_metrics(),
         )
+
+    def _collect_metrics(self) -> dict:
+        """Snapshot every metric source into the engine's registry.
+
+        The snapshot is a plain sorted-key dict: deterministic, picklable,
+        and mergeable into any other registry (serial and parallel batch
+        runs fold these per-cell snapshots identically).
+        """
+        registry = self.engine.metrics
+        self.geometry.publish_metrics(registry)
+        self.array.stats.publish_metrics(registry)
+        registry.counter("cache.memory.reads").set(self.memory.reads)
+        registry.counter("cache.memory.writebacks").set(self.memory.writebacks)
+        if self.partial_tags is not None:
+            registry.counter("cache.partial_tags.early_misses").set(
+                self.partial_tags.early_misses
+            )
+        return registry.snapshot()

@@ -27,3 +27,7 @@ class ProtocolError(ReproError):
 
 class TraceError(ReproError):
     """A workload trace is malformed or could not be generated."""
+
+
+class TelemetryError(ReproError):
+    """The telemetry layer was configured or driven inconsistently."""

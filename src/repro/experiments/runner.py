@@ -26,11 +26,13 @@ from __future__ import annotations
 
 import contextlib
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from typing import Callable, Iterable, Sequence
 
+from repro import telemetry
 from repro.core.system import NetworkedCacheSystem, RunResult
 from repro.experiments.cache import ResultCache
 
@@ -201,11 +203,15 @@ def execute_cell(spec: CellSpec) -> RunResult:
 
     profile = profile_by_name(spec.benchmark)
     trace, warmup = _trace_with_warmup(spec)
+    started = time.perf_counter()
     with _model_overrides(spec):
         system = _build_system(spec)
-        return system.run(
+        result = system.run(
             trace, profile, warmup=warmup, hide_cycles=spec.hide_cycles
         )
+    result.wall_s = time.perf_counter() - started
+    result.provenance = telemetry.provenance_block(spec)
+    return result
 
 
 # -- engine configuration ----------------------------------------------------
@@ -258,6 +264,80 @@ def reset_memo() -> None:
     """Forget in-process results (tests; long-lived sessions)."""
     _memo.clear()
     _worker_traces.clear()
+    _journal.clear()
+
+
+# -- batch reporting ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellReport:
+    """Where one unique cell's result came from, and what it cost."""
+
+    design: str
+    scheme: str
+    benchmark: str
+    seed: int
+    #: ``memo`` (in-process), ``cache`` (persistent), or ``computed``.
+    source: str
+    #: Wall seconds of the original computation (stamped by execute_cell;
+    #: replayed results carry the time their producer spent).
+    wall_s: float | None
+
+    def payload(self) -> dict:
+        return {
+            "design": self.design,
+            "scheme": self.scheme,
+            "benchmark": self.benchmark,
+            "seed": self.seed,
+            "source": self.source,
+            "wall_s": self.wall_s,
+        }
+
+
+@dataclass
+class BatchReport:
+    """Accounting for one :func:`run_cells` batch."""
+
+    total: int
+    unique: int
+    memo_hits: int
+    cache_hits: int
+    computed: int
+    wall_s: float
+    cells: list[CellReport] = field(default_factory=list)
+
+    @property
+    def cached(self) -> int:
+        return self.memo_hits + self.cache_hits
+
+    def summary(self) -> str:
+        return f"{self.total} cells: {self.cached} cached, {self.computed} computed"
+
+    def payload(self) -> dict:
+        return {
+            "total": self.total,
+            "unique": self.unique,
+            "memo_hits": self.memo_hits,
+            "cache_hits": self.cache_hits,
+            "computed": self.computed,
+            "wall_s": self.wall_s,
+            "cells": [cell.payload() for cell in self.cells],
+        }
+
+
+#: Per-process journal of every batch this process has run.
+_journal: list[BatchReport] = []
+
+
+def last_batch() -> BatchReport | None:
+    """Report of the most recent :func:`run_cells` batch (None = none yet)."""
+    return _journal[-1] if _journal else None
+
+
+def journal_payload() -> list[dict]:
+    """The full batch journal as JSON-able dicts."""
+    return [report.payload() for report in _journal]
 
 
 # -- the runner --------------------------------------------------------------
@@ -289,6 +369,7 @@ def run_cells(
         jobs = os.cpu_count() or 1
     if cache is _UNSET:
         cache = _settings.cache
+    batch_started = time.perf_counter()
 
     unique: list[CellSpec] = []
     seen: set[CellSpec] = set()
@@ -297,15 +378,19 @@ def run_cells(
             seen.add(spec)
             unique.append(spec)
 
+    sources: dict[CellSpec, str] = {}
     todo: list[CellSpec] = []
     for spec in unique:
         if spec in _memo:
+            sources[spec] = "memo"
             continue
         if cache is not None:
             hit = cache.get(spec.key())
             if hit is not None:
                 _memo[spec] = hit
+                sources[spec] = "cache"
                 continue
+        sources[spec] = "computed"
         todo.append(spec)
 
     if todo:
@@ -325,6 +410,34 @@ def run_cells(
             remaining = _run_pool(todo, min(jobs, len(todo)), commit)
         for spec in remaining:
             commit(spec, execute_cell(spec))
+
+    # Fold each unique cell's metrics into the process-global registry in
+    # deterministic (first-appearance) order -- identical whether results
+    # came from workers, the memo, or the persistent cache.
+    for spec in unique:
+        telemetry.merge_run(_memo[spec])
+
+    _journal.append(
+        BatchReport(
+            total=len(specs),
+            unique=len(unique),
+            memo_hits=sum(1 for s in sources.values() if s == "memo"),
+            cache_hits=sum(1 for s in sources.values() if s == "cache"),
+            computed=len(todo),
+            wall_s=time.perf_counter() - batch_started,
+            cells=[
+                CellReport(
+                    design=spec.design,
+                    scheme=spec.scheme,
+                    benchmark=spec.benchmark,
+                    seed=spec.seed,
+                    source=sources[spec],
+                    wall_s=getattr(_memo[spec], "wall_s", None),
+                )
+                for spec in unique
+            ],
+        )
+    )
 
     return [_memo[spec] for spec in specs]
 

@@ -31,6 +31,8 @@ class VirtualChannel:
     out_port: object | None = None
     #: Downstream VC allocated to the active packet.
     out_vc: int | None = None
+    #: Most flits ever buffered at once (occupancy high-water mark).
+    max_occupancy: int = 0
 
     @property
     def is_free(self) -> bool:
@@ -70,6 +72,8 @@ class VirtualChannel:
                     "body flit entered a VC not allocated to its packet"
                 )
         self.fifo.append(flit)
+        if len(self.fifo) > self.max_occupancy:
+            self.max_occupancy = len(self.fifo)
 
     def pop(self) -> Flit:
         """Remove the head flit; tail flits release the VC."""

@@ -18,6 +18,7 @@ from repro.noc.packet import Packet
 from repro.noc.router import EJECT, INJECT, Router
 from repro.noc.routing import RouteComputer, routing_for
 from repro.noc.topology import NodeId, Topology
+from repro.telemetry import trace as _trace
 
 
 @dataclass
@@ -98,6 +99,13 @@ class Network:
         self._pending_ejects: dict[tuple[int, NodeId], int] = {}
         self._eject_meta: dict[tuple[int, NodeId], Packet] = {}
         self._delivered_callbacks: list = []
+        #: Trace sink captured at construction; the NullSink fast path
+        #: reduces every per-flit event site to one attribute check.
+        self._sink = _trace.current_sink()
+
+    def set_trace_sink(self, sink) -> None:
+        """Swap the flit-event trace sink (None = the null sink)."""
+        self._sink = sink if sink is not None else _trace.NULL_SINK
 
     # -- client API ---------------------------------------------------------
 
@@ -124,6 +132,12 @@ class Network:
         packet.created_at = self.cycle
         self._inject_queues[node].append(packet)
         self.stats.packets_injected += 1
+        if self._sink.enabled:
+            self._sink.instant(
+                "inject", "noc.flit", self.cycle, tid=node,
+                args={"packet": packet.packet_id,
+                      "destinations": [str(d) for d in packet.destinations]},
+            )
         for destination in packet.destinations:
             key = (packet.packet_id, destination)
             self._pending_ejects[key] = packet.num_flits
@@ -186,6 +200,12 @@ class Network:
             router = self.routers[node]
             flit.eligible_at = cycle + (self.router_config.hop_latency - 1)
             router.inputs[in_port][vc_index].push(flit)
+            if self._sink.enabled:
+                self._sink.instant(
+                    "traverse", "noc.flit", cycle, tid=node,
+                    args={"packet": flit.packet.packet_id, "vc": vc_index,
+                          "from": str(in_port), "hops": flit.hops},
+                )
 
     def _inject_phase(self, cycle: int) -> None:
         """Move at most one flit per router from its inject queue to a VC."""
@@ -242,6 +262,11 @@ class Network:
 
     def _eject(self, node: NodeId, flit: Flit, cycle: int) -> None:
         flit.ejected_at = cycle + 1  # crossing the ejection channel
+        if self._sink.enabled:
+            self._sink.instant(
+                "eject", "noc.flit", flit.ejected_at, tid=node,
+                args={"packet": flit.packet.packet_id, "hops": flit.hops},
+            )
         for destination in flit.destinations or (node,):
             key = (flit.packet.packet_id, destination)
             if key not in self._pending_ejects:
@@ -261,10 +286,36 @@ class Network:
                     hops=flit.hops,
                 )
                 self.stats.deliveries.append(delivery)
+                if self._sink.enabled:
+                    self._sink.complete(
+                        "packet", "noc.packet", delivery.injected_at,
+                        delivery.latency, tid=destination,
+                        args={"packet": packet.packet_id,
+                              "source": str(packet.source),
+                              "hops": delivery.hops},
+                    )
                 for callback in self._delivered_callbacks:
                     callback(delivery)
 
     # -- aggregate inspection ---------------------------------------------
+
+    def publish_metrics(self, registry) -> None:
+        """Export network-level and summed per-router counters."""
+        registry.counter("noc.network.cycles").inc(self.stats.cycles)
+        registry.counter("noc.network.packets_injected").inc(
+            self.stats.packets_injected
+        )
+        registry.counter("noc.network.flits_injected").inc(
+            self.stats.flits_injected
+        )
+        registry.counter("noc.network.packets_delivered").inc(
+            self.stats.packets_delivered
+        )
+        registry.gauge("noc.network.max_latency").update_max(
+            self.stats.max_latency
+        )
+        for node in sorted(self.routers, key=str):
+            self.routers[node].publish_metrics(registry)
 
     def total_buffered_flits(self) -> int:
         return sum(router.buffered_flits() for router in self.routers.values())

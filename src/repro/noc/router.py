@@ -45,6 +45,14 @@ class RouterStats:
     replications: int = 0
     replication_blocked_cycles: int = 0
     switch_conflicts: int = 0
+    #: Head flits that found no free downstream VC with credit this cycle.
+    vc_alloc_failures: int = 0
+    #: Flits that crossed the router on their first eligible cycle with an
+    #: otherwise-empty VC -- the single-cycle buffer-bypass case.
+    buffer_bypass_hits: int = 0
+    #: Head flits whose VC allocation and switch traversal landed in the
+    #: same cycle (the speculative switch-allocation win).
+    speculative_switch_wins: int = 0
 
 
 @dataclass
@@ -246,6 +254,7 @@ class Router:
                 return _Forward(flit, EJECT, None)
             out_vc = self._allocate_downstream_vc(out_port, flit)
             if out_vc is None:
+                self.stats.vc_alloc_failures += 1
                 return None
             return _Forward(flit, out_port, out_vc)
         # Body/tail flit: follows the wormhole's allocated route.
@@ -296,13 +305,21 @@ class Router:
             port, forward = contenders[pick]
             self._rr_out[out_port] = self._rr_out[out_port] + 1
             granted_outputs.add(out_port)
-            winners.append(self._commit(port, forward))
+            winners.append(self._commit(port, forward, cycle))
         return winners
 
-    def _commit(self, port: object, forward: _Forward) -> _Forward:
+    def _commit(self, port: object, forward: _Forward, cycle: int) -> _Forward:
         """Perform the switch traversal for a winning flit."""
         unit = self.inputs[port]
         vc = next(v for v in unit if v.head() is forward.flit)
+        if self.config.single_cycle and forward.flit.eligible_at == cycle:
+            # Crossed on its first eligible cycle: with an empty VC behind
+            # it this is a buffer bypass; a head flit additionally won its
+            # VC allocation and the switch in the same (speculative) cycle.
+            if len(vc.fifo) == 1:
+                self.stats.buffer_bypass_hits += 1
+            if forward.flit.kind.is_head and forward.out_port != EJECT:
+                self.stats.speculative_switch_wins += 1
         flit = self._pop(port, vc)
         flit.hops += 1
         if forward.out_port == EJECT:
@@ -331,6 +348,32 @@ class Router:
         return forward
 
     # -- introspection ------------------------------------------------------
+
+    def publish_metrics(self, registry, prefix: str = "noc.router") -> None:
+        """Accumulate this router's counters into a telemetry registry.
+
+        Counters are summed across routers under *prefix*; per-VC buffer
+        occupancy feeds the ``noc.buffer.max_occupancy`` high-water gauge.
+        """
+        stats = self.stats
+        registry.counter(f"{prefix}.flits_forwarded").inc(stats.flits_forwarded)
+        registry.counter(f"{prefix}.flits_ejected").inc(stats.flits_ejected)
+        registry.counter(f"{prefix}.replications").inc(stats.replications)
+        registry.counter(f"{prefix}.multicast_replica_blocked_cycles").inc(
+            stats.replication_blocked_cycles
+        )
+        registry.counter(f"{prefix}.switch_conflicts").inc(stats.switch_conflicts)
+        registry.counter(f"{prefix}.vc_alloc_failures").inc(stats.vc_alloc_failures)
+        registry.counter(f"{prefix}.buffer_bypass_hits").inc(
+            stats.buffer_bypass_hits
+        )
+        registry.counter(f"{prefix}.speculative_switch_wins").inc(
+            stats.speculative_switch_wins
+        )
+        occupancy = registry.gauge("noc.buffer.max_occupancy")
+        for unit in self.inputs.values():
+            for vc in unit:
+                occupancy.update_max(vc.max_occupancy)
 
     def occupied_vcs(self) -> int:
         """Number of input VCs currently holding or reserved by a packet."""

@@ -51,17 +51,36 @@ class EventQueue:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._cancelled = 0
+        #: Time of the most recently popped event; scheduling before it
+        #: would break causality (the past already executed).
+        self._last_pop_time: int | None = None
+        #: Most live events ever queued at once (exported as a gauge).
+        self.high_water = 0
 
     def __len__(self) -> int:
         """Number of live (non-cancelled) events, in O(1)."""
         return len(self._heap) - self._cancelled
 
     def push(self, time: int, callback: Callable[[], Any]) -> Event:
-        """Schedule *callback* at absolute *time* and return its event."""
+        """Schedule *callback* at absolute *time* and return its event.
+
+        Scheduling earlier than the last popped event's time raises
+        :class:`SimulationError`: that moment has already executed, so the
+        new event could never fire in causal order.
+        """
+        last = self._last_pop_time
+        if last is not None and time < last:
+            raise SimulationError(
+                f"cannot schedule at time {time}: the queue already "
+                f"dispatched an event at time {last}"
+            )
         event = Event(
             time=time, sequence=next(self._counter), callback=callback, owner=self
         )
         heapq.heappush(self._heap, event)
+        live = len(self._heap) - self._cancelled
+        if live > self.high_water:
+            self.high_water = live
         return event
 
     def pop(self) -> Event | None:
@@ -71,6 +90,7 @@ class EventQueue:
             event = heapq.heappop(heap)
             if not event.cancelled:
                 event.owner = None  # late cancels must not skew the count
+                self._last_pop_time = event.time
                 return event
             self._cancelled -= 1
         return None
@@ -105,6 +125,7 @@ class Simulator:
         self._queue = EventQueue()
         self.now = 0
         self._running = False
+        self.events_executed = 0
 
     def schedule(self, delay: int, callback: Callable[[], Any]) -> Event:
         """Schedule *callback* to run *delay* cycles from now."""
@@ -125,6 +146,18 @@ class Simulator:
         """Number of live events still queued."""
         return len(self._queue)
 
+    @property
+    def queue_high_water(self) -> int:
+        """Most live events ever queued at once."""
+        return self._queue.high_water
+
+    def publish_metrics(self, registry) -> None:
+        """Export kernel counters into a telemetry registry."""
+        registry.gauge("sim.kernel.event_queue_high_water").update_max(
+            self._queue.high_water
+        )
+        registry.counter("sim.kernel.events_executed").set(self.events_executed)
+
     def step(self) -> bool:
         """Run the earliest event; return ``False`` if the queue was empty."""
         event = self._queue.pop()
@@ -133,6 +166,7 @@ class Simulator:
         if event.time < self.now:
             raise SimulationError("event queue returned an event from the past")
         self.now = event.time
+        self.events_executed += 1
         event.callback()
         return True
 

@@ -56,6 +56,7 @@ class Resource:
         "busy_cycles",
         "grants",
         "queued_cycles",
+        "waits",
         "floor_clock",
         "_starts",
         "_ends",
@@ -69,6 +70,9 @@ class Resource:
         self.busy_cycles = 0
         self.grants = 0
         self.queued_cycles = 0
+        #: Number of grants that could not start at their requested time --
+        #: the transaction-level analogue of a failed same-cycle allocation.
+        self.waits = 0
         self.floor_clock = floor_clock
         self._starts: list[int] = []
         self._ends: list[int] = []
@@ -106,6 +110,7 @@ class Resource:
         ends.insert(i, start + duration)
         if start > time:
             self.queued_cycles += start - time
+            self.waits += 1
         self.busy_cycles += duration
         self.grants += 1
         return start
@@ -152,6 +157,7 @@ class Resource:
         self.busy_cycles = 0
         self.grants = 0
         self.queued_cycles = 0
+        self.waits = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Resource(name={self.name!r}, reservations={len(self._starts)})"
@@ -165,7 +171,8 @@ class OccupancyTracker:
     limited concurrency rather than strict single occupancy.
     """
 
-    __slots__ = ("servers", "name", "_free_at", "grants", "queued_cycles")
+    __slots__ = ("servers", "name", "_free_at", "grants", "queued_cycles",
+                 "waits")
 
     def __init__(self, servers: int, name: str = "tracker") -> None:
         if servers <= 0:
@@ -175,6 +182,7 @@ class OccupancyTracker:
         self._free_at = [0] * servers
         self.grants = 0
         self.queued_cycles = 0
+        self.waits = 0
 
     def acquire(self, time: int, duration: int) -> int:
         """Reserve one server for *duration* cycles at or after *time*."""
@@ -183,7 +191,9 @@ class OccupancyTracker:
         free_at = self._free_at
         best = min(range(self.servers), key=free_at.__getitem__)
         start = max(time, free_at[best])
-        self.queued_cycles += start - time
+        if start > time:
+            self.queued_cycles += start - time
+            self.waits += 1
         free_at[best] = start + duration
         self.grants += 1
         return start
@@ -193,6 +203,7 @@ class OccupancyTracker:
         self._free_at = [0] * self.servers
         self.grants = 0
         self.queued_cycles = 0
+        self.waits = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"OccupancyTracker(servers={self.servers}, name={self.name!r})"

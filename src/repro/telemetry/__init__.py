@@ -1,0 +1,74 @@
+"""Simulator-wide observability: metrics, structured tracing, provenance.
+
+Three cooperating pieces (see DESIGN.md §9):
+
+* :mod:`repro.telemetry.registry` -- hierarchical counters, gauges, and
+  fixed-bucket histograms that every simulator layer publishes into;
+* :mod:`repro.telemetry.trace` -- opt-in per-flit / per-transaction
+  lifecycle event sinks (JSONL or Perfetto-loadable Chrome trace), with a
+  no-op :class:`~repro.telemetry.trace.NullSink` fast path;
+* :mod:`repro.telemetry.provenance` -- the deterministic provenance block
+  stamped into every result payload.
+
+Everything is deterministic by construction: sim-time stamps, fixed
+histogram edges, sorted serialization -- two identical runs produce
+byte-identical artifacts, and per-cell metric snapshots merge to the same
+totals whether cells ran serially, in a worker pool, or from the cache.
+"""
+
+from repro.telemetry.provenance import provenance_block
+from repro.telemetry.registry import (
+    CHAIN_DEPTH_EDGES,
+    WAIT_CYCLE_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    reset_global_metrics,
+)
+from repro.telemetry.trace import (
+    NULL_SINK,
+    TRACE_FORMATS,
+    ChromeTraceSink,
+    JsonlTraceSink,
+    NullSink,
+    TraceSink,
+    current_sink,
+    open_sink,
+    set_sink,
+)
+
+
+def merge_run(result) -> None:
+    """Fold one run's metrics snapshot into the process-wide registry.
+
+    Safe on results that predate telemetry (no ``metrics`` attribute) and
+    on cells whose snapshot is ``None``.
+    """
+    snapshot = getattr(result, "metrics", None)
+    if snapshot:
+        global_registry().merge(snapshot)
+
+
+__all__ = [
+    "CHAIN_DEPTH_EDGES",
+    "WAIT_CYCLE_EDGES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "reset_global_metrics",
+    "NULL_SINK",
+    "TRACE_FORMATS",
+    "ChromeTraceSink",
+    "JsonlTraceSink",
+    "NullSink",
+    "TraceSink",
+    "current_sink",
+    "open_sink",
+    "set_sink",
+    "provenance_block",
+    "merge_run",
+]

@@ -1,0 +1,46 @@
+"""Run provenance: what exactly produced a result payload.
+
+A provenance block pins a result to the source tree (the same
+content-addressed fingerprint the persistent result cache keys on), the
+package version, the interpreter, and -- when a cell specification is
+given -- every model knob of the run. Two payloads with equal provenance
+blocks were produced by identical code on identical inputs, so any
+numeric difference between them is a real nondeterminism bug.
+
+Deliberately excluded: wall-clock timestamps, hostnames, and process ids.
+Provenance must be a pure function of (code, spec) so that serial,
+parallel, and cache-replayed evaluations of one cell carry bit-identical
+blocks (the engine's determinism tests compare whole payloads).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import platform
+
+
+def provenance_block(spec=None, **extra) -> dict:
+    """Build the provenance dict for one run (or one batch when no spec).
+
+    *spec* is a :class:`~repro.experiments.runner.CellSpec` (or any
+    dataclass); its fields are embedded verbatim. Keyword *extra* entries
+    are merged in (batch-level context such as jobs counts).
+    """
+    from repro import __version__
+    from repro.experiments.cache import CACHE_FORMAT, code_fingerprint
+
+    block = {
+        "source_fingerprint": code_fingerprint(),
+        "cache_format": CACHE_FORMAT,
+        "package_version": __version__,
+        "python": platform.python_version(),
+    }
+    if spec is not None:
+        block["spec"] = {
+            f.name: getattr(spec, f.name) for f in dataclasses.fields(spec)
+        }
+        for key in ("seed", "scheme", "design", "benchmark"):
+            if key in block["spec"]:
+                block[key] = block["spec"][key]
+    block.update(extra)
+    return block

@@ -1,0 +1,245 @@
+"""Hierarchical metrics registry: counters, gauges, and fixed-bucket
+histograms.
+
+Every layer of the simulator (``noc.router``, ``noc.network``,
+``cache.bankset``, ``sim.kernel``, ...) publishes into a
+:class:`MetricsRegistry` under dot-separated hierarchical names. The
+registry is deliberately boring so that it can be deterministic:
+
+* **counters** are monotone integers (merge = sum);
+* **gauges** are high-water marks (merge = max);
+* **histograms** use *fixed bucket edges supplied at registration* --
+  never data-dependent edges -- so two runs of the same workload always
+  produce bucket-for-bucket comparable (and mergeable) series.
+
+A registry serializes to a plain JSON-able :meth:`MetricsRegistry.snapshot`
+dict with sorted keys; snapshots from different processes (the ``--jobs``
+worker pool) merge associatively and commutatively, which is what makes
+serial and parallel sweeps produce identical merged metrics.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TelemetryError
+
+
+class Counter:
+    """A monotone event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def set(self, value: int) -> None:
+        """Publish an absolute count kept elsewhere (end-of-run exports)."""
+        self.value = value
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+    def merge(self, other: dict) -> None:
+        self.value += other["value"]
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A high-water mark (merge keeps the maximum)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def update_max(self, value) -> None:
+        if value > self.value:
+            self.value = value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+    def merge(self, other: dict) -> None:
+        if other["value"] > self.value:
+            self.value = other["value"]
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Histogram:
+    """A fixed-edge histogram.
+
+    ``edges`` are the *upper* bounds of the first ``len(edges)`` buckets;
+    one overflow bucket catches everything above the last edge. Edges are
+    part of the metric's identity: registering or merging the same name
+    with different edges raises :class:`TelemetryError` instead of
+    silently resampling, so series stay comparable across runs and code
+    versions.
+    """
+
+    __slots__ = ("edges", "counts", "total", "count")
+
+    def __init__(self, edges: tuple) -> None:
+        if not edges or list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise TelemetryError(
+                f"histogram edges must be strictly increasing, got {edges!r}"
+            )
+        self.edges = tuple(edges)
+        self.counts = [0] * (len(edges) + 1)
+        self.total = 0
+        self.count = 0
+
+    def record(self, value) -> None:
+        counts = self.counts
+        for i, edge in enumerate(self.edges):
+            if value <= edge:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "total": self.total,
+            "count": self.count,
+        }
+
+    def merge(self, other: dict) -> None:
+        if tuple(other["edges"]) != self.edges:
+            raise TelemetryError(
+                f"cannot merge histograms with different edges: "
+                f"{self.edges} vs {tuple(other['edges'])}"
+            )
+        for i, count in enumerate(other["counts"]):
+            self.counts[i] += count
+        self.total += other["total"]
+        self.count += other["count"]
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.edges) + 1)
+        self.total = 0
+        self.count = 0
+
+
+class MetricsRegistry:
+    """A named collection of metrics, hierarchical by dot-separated name."""
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def _get(self, name: str, kind: type, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif type(metric) is not kind:
+            raise TelemetryError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, Gauge)
+
+    def histogram(self, name: str, edges: tuple) -> Histogram:
+        histogram = self._get(name, Histogram, lambda: Histogram(edges))
+        if histogram.edges != tuple(edges):
+            raise TelemetryError(
+                f"histogram {name!r} already registered with edges "
+                f"{histogram.edges}, requested {tuple(edges)}"
+            )
+        return histogram
+
+    # -- serialization and merging ---------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain JSON-able dict of every metric, keys sorted."""
+        return {
+            name: self._metrics[name].snapshot()
+            for name in sorted(self._metrics)
+        }
+
+    def merge(self, snapshot: dict | None) -> None:
+        """Fold a :meth:`snapshot` dict into this registry.
+
+        Merging is associative and commutative (counters sum, gauges max,
+        histograms add bucket-wise), so any grouping of per-cell snapshots
+        -- serial, ``--jobs N``, or cache replay -- yields the same merged
+        registry.
+        """
+        if not snapshot:
+            return
+        makers = {"counter": self.counter, "gauge": self.gauge}
+        for name in sorted(snapshot):
+            entry = snapshot[name]
+            kind = entry["type"]
+            if kind == "histogram":
+                metric = self.histogram(name, tuple(entry["edges"]))
+            else:
+                try:
+                    metric = makers[kind](name)
+                except KeyError:
+                    raise TelemetryError(
+                        f"unknown metric type {kind!r} for {name!r}"
+                    ) from None
+            metric.merge(entry)
+
+    def reset(self) -> None:
+        """Zero every metric, keeping names and histogram edges."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def clear(self) -> None:
+        """Forget every metric."""
+        self._metrics.clear()
+
+
+#: Fixed bucket edges for the per-access eviction-chain depth histogram
+#: (in banks moved). Fixed here -- not derived from data -- so the series
+#: diffs cleanly across runs and merges across processes (DESIGN.md §9).
+CHAIN_DEPTH_EDGES = (0, 1, 2, 3, 4, 6, 8, 12, 16)
+
+#: Fixed bucket edges for queueing/blocked-cycle histograms.
+WAIT_CYCLE_EDGES = (0, 1, 2, 4, 8, 16, 32, 64, 128)
+
+
+_global = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide registry that batch runs merge into."""
+    return _global
+
+
+def reset_global_metrics() -> None:
+    """Forget every process-wide metric (tests; fresh CLI invocations)."""
+    _global.clear()

@@ -1,0 +1,203 @@
+"""Structured trace sinks: per-flit and per-transaction lifecycle events.
+
+The simulator layers emit lifecycle events (``inject`` -> ``route`` ->
+``vc_alloc`` -> ``traverse`` -> ``eject`` for flits; ``miss`` ->
+``multicast`` -> ``memory`` -> ``mru_fill`` for cache transactions) through
+a process-wide *trace sink*. Three sinks exist:
+
+* :class:`NullSink` -- the default; ``enabled`` is ``False`` and every
+  instrumentation site guards on it, so a disabled run pays one attribute
+  check per *event site*, not per event (the zero-overhead fast path);
+* :class:`JsonlTraceSink` -- one compact JSON object per line, written
+  streaming; byte-identical across identical runs;
+* :class:`ChromeTraceSink` -- Chrome ``trace_event`` JSON that loads
+  directly in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+
+Determinism contract: every timestamp is **simulation time** (cycles) --
+never wall-clock -- and thread/track identifiers are assigned in
+deterministic first-use order, so two runs of the same cell produce
+byte-identical trace files that diff cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import TelemetryError
+
+#: The ``ph`` phase letters used from the Chrome trace_event vocabulary:
+#: ``i`` instant, ``X`` complete (ts + dur), ``C`` counter sample.
+_KNOWN_PHASES = ("i", "X", "C")
+
+
+class TraceSink:
+    """Interface every sink implements; also usable as a base class."""
+
+    #: Instrumentation sites skip all event construction when False.
+    enabled = False
+
+    def emit(
+        self,
+        name: str,
+        cat: str,
+        ts: int,
+        tid: object = 0,
+        ph: str = "i",
+        dur: int | None = None,
+        args: dict | None = None,
+    ) -> None:
+        raise NotImplementedError
+
+    def instant(self, name, cat, ts, tid=0, args=None) -> None:
+        self.emit(name, cat, ts, tid=tid, ph="i", args=args)
+
+    def complete(self, name, cat, ts, dur, tid=0, args=None) -> None:
+        self.emit(name, cat, ts, tid=tid, ph="X", dur=dur, args=args)
+
+    def close(self) -> None:
+        """Flush and release the underlying file (idempotent)."""
+
+
+class NullSink(TraceSink):
+    """Discards everything; the always-installed default."""
+
+    enabled = False
+
+    def emit(self, name, cat, ts, tid=0, ph="i", dur=None, args=None) -> None:
+        pass
+
+
+NULL_SINK = NullSink()
+
+
+class JsonlTraceSink(TraceSink):
+    """One JSON object per line, streamed to *path* as events arrive.
+
+    Keys are sorted and separators compact, so identical event streams
+    produce byte-identical files.
+    """
+
+    enabled = True
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._handle = open(path, "w", encoding="utf-8")
+        self.events_written = 0
+
+    def emit(self, name, cat, ts, tid=0, ph="i", dur=None, args=None) -> None:
+        record = {"name": name, "cat": cat, "ph": ph, "ts": ts, "tid": str(tid)}
+        if dur is not None:
+            record["dur"] = dur
+        if args:
+            record["args"] = args
+        self._handle.write(json.dumps(record, sort_keys=True,
+                                      separators=(",", ":")))
+        self._handle.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class ChromeTraceSink(TraceSink):
+    """Chrome ``trace_event`` JSON (the Perfetto-loadable format).
+
+    Events accumulate in memory and :meth:`close` writes one
+    ``{"traceEvents": [...]}`` document. Track (``tid``) labels -- column
+    ids, router nodes -- are mapped to small integers in deterministic
+    first-use order, and ``thread_name`` metadata events name each track,
+    so a run opens in Perfetto with human-readable rows. Timestamps are
+    cycles reported in the format's microsecond field: 1 cycle reads as
+    1 us in the viewer.
+    """
+
+    enabled = True
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._events: list[dict] = []
+        self._tids: dict[str, int] = {}
+        self._closed = False
+
+    def _tid(self, label: object) -> int:
+        label = str(label)
+        tid = self._tids.get(label)
+        if tid is None:
+            tid = len(self._tids)
+            self._tids[label] = tid
+        return tid
+
+    def emit(self, name, cat, ts, tid=0, ph="i", dur=None, args=None) -> None:
+        if ph not in _KNOWN_PHASES:
+            raise TelemetryError(f"unknown trace phase {ph!r}")
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": ph,
+            "ts": ts,
+            "pid": 0,
+            "tid": self._tid(tid),
+        }
+        if ph == "i":
+            event["s"] = "t"  # thread-scoped instant
+        if dur is not None:
+            event["dur"] = dur
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        metadata = [
+            {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+             "args": {"name": "repro-sim"}}
+        ]
+        for label, tid in self._tids.items():
+            metadata.append(
+                {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+                 "args": {"name": label}}
+            )
+        document = {"traceEvents": metadata + self._events,
+                    "displayTimeUnit": "ms"}
+        with open(self.path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True,
+                      separators=(",", ":"))
+            handle.write("\n")
+
+    @property
+    def events_written(self) -> int:
+        return len(self._events)
+
+
+TRACE_FORMATS = ("jsonl", "chrome")
+
+
+def open_sink(path, trace_format: str = "jsonl") -> TraceSink:
+    """Create the sink for *path* in the requested format."""
+    if trace_format == "jsonl":
+        return JsonlTraceSink(path)
+    if trace_format == "chrome":
+        return ChromeTraceSink(path)
+    raise TelemetryError(
+        f"unknown trace format {trace_format!r}; known: {TRACE_FORMATS}"
+    )
+
+
+_current: TraceSink = NULL_SINK
+
+
+def current_sink() -> TraceSink:
+    """The process-wide active sink (the :data:`NULL_SINK` by default)."""
+    return _current
+
+
+def set_sink(sink: TraceSink | None) -> TraceSink:
+    """Install *sink* (None reinstalls the null sink); returns the old one."""
+    global _current
+    previous = _current
+    _current = sink if sink is not None else NULL_SINK
+    return previous

@@ -90,6 +90,91 @@ class TestRunCells:
             assert spec_for("A", alias, "art", ENGINE_CONFIG) == canonical
 
 
+class TestTelemetryIntegration:
+    def _merged_metrics(self, jobs: int) -> dict:
+        from repro.telemetry import global_registry, reset_global_metrics
+
+        reset_global_metrics()
+        run_cells(_sweep_specs(), jobs=jobs, cache=None)
+        snapshot = global_registry().snapshot()
+        reset_global_metrics()
+        return snapshot
+
+    def test_serial_and_parallel_merge_identically(self):
+        serial = self._merged_metrics(jobs=1)
+        reset_memo()
+        parallel = self._merged_metrics(jobs=2)
+        assert serial
+        assert serial == parallel
+
+    def test_cache_replay_merges_identically(self, tmp_path):
+        from repro.telemetry import global_registry, reset_global_metrics
+
+        cache = ResultCache(directory=tmp_path)
+        reset_global_metrics()
+        run_cells(_sweep_specs(), jobs=1, cache=cache)
+        fresh = global_registry().snapshot()
+        reset_memo()
+        reset_global_metrics()
+        run_cells(_sweep_specs(), jobs=1, cache=cache)
+        replayed = global_registry().snapshot()
+        reset_global_metrics()
+        assert cache.stats.hits == len(_sweep_specs())
+        assert replayed == fresh
+
+    def test_results_carry_metrics_and_provenance(self):
+        result = run_cells([_sweep_specs()[0]], jobs=1, cache=None)[0]
+        assert result.metrics
+        assert "noc.router.vc_alloc_failures" in result.metrics
+        assert "cache.bankset.eviction_chain_depth" in result.metrics
+        assert result.wall_s is not None and result.wall_s > 0
+        assert result.provenance["seed"] == ENGINE_CONFIG.seed
+        assert result.provenance["source_fingerprint"] == code_fingerprint()
+
+    def test_provenance_is_pure_function_of_spec(self):
+        spec = _sweep_specs()[0]
+        first = execute_cell(spec).provenance
+        second = execute_cell(spec).provenance
+        assert first == second
+
+
+class TestBatchReport:
+    def test_sources_classified_and_summary(self, tmp_path):
+        from repro.experiments.runner import last_batch
+
+        cache = ResultCache(directory=tmp_path)
+        specs = _sweep_specs()[:2]
+        run_cells(specs, jobs=1, cache=cache)
+        batch = last_batch()
+        assert (batch.total, batch.unique, batch.computed) == (2, 2, 2)
+        assert batch.summary() == "2 cells: 0 cached, 2 computed"
+
+        run_cells(specs + [specs[0]], jobs=1, cache=cache)
+        batch = last_batch()
+        assert batch.total == 3 and batch.unique == 2
+        assert batch.memo_hits == 2 and batch.computed == 0
+        assert batch.summary() == "3 cells: 2 cached, 0 computed"
+
+        reset_memo()
+        run_cells(specs, jobs=1, cache=cache)
+        batch = last_batch()
+        assert batch.cache_hits == 2 and batch.computed == 0
+        sources = {cell.source for cell in batch.cells}
+        assert sources == {"cache"}
+        assert batch.wall_s >= 0
+
+    def test_journal_payload_is_json_able(self):
+        import json
+
+        from repro.experiments.runner import journal_payload
+
+        run_cells(_sweep_specs()[:1], jobs=1, cache=None)
+        payload = journal_payload()
+        assert len(payload) == 1
+        decoded = json.loads(json.dumps(payload))
+        assert decoded[0]["cells"][0]["source"] == "computed"
+
+
 class TestResultCache:
     def test_hit_returns_identical_result(self, tmp_path):
         cache = ResultCache(directory=tmp_path)

@@ -104,6 +104,32 @@ class TestEventQueue:
         event.cancel()  # too late: already out of the queue
         assert len(queue) == 1
 
+    def test_scheduling_before_last_pop_raises(self):
+        queue = EventQueue()
+        queue.push(5, lambda: None)
+        queue.pop()
+        with pytest.raises(SimulationError, match="time 3.*time 5"):
+            queue.push(3, lambda: None)
+
+    def test_scheduling_at_last_pop_time_allowed(self):
+        # Same-time events after a pop are causal (they fire this cycle).
+        queue = EventQueue()
+        queue.push(5, lambda: None)
+        queue.pop()
+        event = queue.push(5, lambda: None)
+        assert queue.pop() is event
+
+    def test_high_water_tracks_live_events(self):
+        queue = EventQueue()
+        events = [queue.push(t, lambda: None) for t in range(4)]
+        assert queue.high_water == 4
+        events[0].cancel()
+        queue.push(9, lambda: None)  # live count back to 4, no new peak
+        assert queue.high_water == 4
+        while queue.pop() is not None:
+            pass
+        assert queue.high_water == 4  # peak survives draining
+
 
 class TestSimulator:
     def test_time_advances_to_event(self):
@@ -182,3 +208,17 @@ class TestSimulator:
 
     def test_step_returns_false_when_empty(self):
         assert Simulator().step() is False
+
+    def test_publish_metrics_exports_kernel_series(self):
+        from repro.telemetry import MetricsRegistry
+
+        sim = Simulator()
+        for t in range(5):
+            sim.schedule(t + 1, lambda: None)
+        sim.run()
+        assert sim.queue_high_water == 5
+        registry = MetricsRegistry()
+        sim.publish_metrics(registry)
+        snapshot = registry.snapshot()
+        assert snapshot["sim.kernel.event_queue_high_water"]["value"] == 5
+        assert snapshot["sim.kernel.events_executed"]["value"] == 5

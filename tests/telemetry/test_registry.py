@@ -1,0 +1,144 @@
+"""The metrics registry: counters, gauges, fixed-edge histograms, merging.
+
+The load-bearing property is determinism: snapshots are plain sorted-key
+dicts, histogram edges are part of a metric's identity, and merging is
+associative and commutative -- so serial, parallel, and cache-replayed
+sweeps fold per-cell snapshots into identical totals.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    CHAIN_DEPTH_EDGES,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    reset_global_metrics,
+)
+
+
+class TestCounter:
+    def test_inc_and_set(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a.b")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        counter.set(9)
+        assert counter.value == 9
+
+    def test_same_name_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TelemetryError, match="Counter"):
+            registry.gauge("x")
+
+
+class TestGauge:
+    def test_update_max_is_high_water(self):
+        gauge = MetricsRegistry().gauge("hw")
+        for value in (3, 7, 2):
+            gauge.update_max(value)
+        assert gauge.value == 7
+
+    def test_merge_keeps_max(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("hw").set(5)
+        b.gauge("hw").set(9)
+        a.merge(b.snapshot())
+        assert a.gauge("hw").value == 9
+
+
+class TestHistogram:
+    def test_bucket_assignment_is_stable(self):
+        hist = Histogram(edges=(0, 1, 2, 4))
+        for value in (0, 1, 1, 3, 100):
+            hist.record(value)
+        # buckets: <=0, <=1, <=2, <=4, overflow
+        assert hist.counts == [1, 2, 0, 1, 1]
+        assert hist.count == 5
+        assert hist.total == 105
+        assert hist.mean == 21.0
+
+    def test_edges_must_increase(self):
+        with pytest.raises(TelemetryError, match="strictly increasing"):
+            Histogram(edges=(1, 1, 2))
+        with pytest.raises(TelemetryError, match="strictly increasing"):
+            Histogram(edges=(2, 1))
+
+    def test_reregistration_with_other_edges_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (0, 1, 2))
+        with pytest.raises(TelemetryError, match="already registered"):
+            registry.histogram("h", (0, 1, 3))
+
+    def test_merge_rejects_different_edges(self):
+        a = Histogram(edges=(0, 1))
+        with pytest.raises(TelemetryError, match="different edges"):
+            a.merge({"edges": [0, 2], "counts": [0, 0, 0],
+                     "total": 0, "count": 0})
+
+    def test_chain_depth_edges_are_fixed_constants(self):
+        # The figure drivers and the merge path both depend on these
+        # exact edges; changing them silently breaks series comparability.
+        assert CHAIN_DEPTH_EDGES == (0, 1, 2, 3, 4, 6, 8, 12, 16)
+
+
+class TestRegistrySnapshotMerge:
+    def _sample(self, scale: int) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("c").inc(10 * scale)
+        registry.gauge("g").set(scale)
+        hist = registry.histogram("h", (1, 2))
+        for _ in range(scale):
+            hist.record(2)
+        return registry
+
+    def test_snapshot_is_json_stable(self):
+        registry = self._sample(2)
+        first = json.dumps(registry.snapshot(), sort_keys=True)
+        second = json.dumps(self._sample(2).snapshot(), sort_keys=True)
+        assert first == second
+        assert list(registry.snapshot()) == sorted(registry.snapshot())
+
+    def test_merge_is_associative_and_commutative(self):
+        parts = [self._sample(scale).snapshot() for scale in (1, 2, 3)]
+
+        def fold(order):
+            registry = MetricsRegistry()
+            for part in order:
+                registry.merge(part)
+            return registry.snapshot()
+
+        forward = fold(parts)
+        backward = fold(reversed(parts))
+        assert forward == backward
+        assert forward["c"]["value"] == 60
+        assert forward["g"]["value"] == 3
+        assert forward["h"]["counts"] == [0, 6, 0]
+
+    def test_merge_unknown_type_raises(self):
+        with pytest.raises(TelemetryError, match="unknown metric type"):
+            MetricsRegistry().merge({"x": {"type": "bogus", "value": 1}})
+
+    def test_reset_keeps_names_and_edges(self):
+        registry = self._sample(3)
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert set(snapshot) == {"c", "g", "h"}
+        assert snapshot["c"]["value"] == 0
+        assert snapshot["h"]["edges"] == [1, 2]
+        assert snapshot["h"]["counts"] == [0, 0, 0]
+
+    def test_global_registry_reset(self):
+        global_registry().counter("t").inc()
+        assert "t" in global_registry()
+        reset_global_metrics()
+        assert "t" not in global_registry()

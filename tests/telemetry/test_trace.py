@@ -1,0 +1,152 @@
+"""Trace sinks: byte-identical JSONL and Perfetto-loadable Chrome output.
+
+Determinism contract: sim-time timestamps only, sorted keys, compact
+separators, first-use-order track ids. Two identical runs must produce
+byte-identical trace files.
+"""
+
+import json
+
+import pytest
+
+from repro.core.system import NetworkedCacheSystem
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    NULL_SINK,
+    ChromeTraceSink,
+    JsonlTraceSink,
+    current_sink,
+    open_sink,
+    set_sink,
+)
+from repro.workloads import TraceGenerator, profile_by_name
+
+
+@pytest.fixture(autouse=True)
+def _null_sink_after():
+    yield
+    set_sink(None)
+
+
+def _traced_run(path, trace_format="jsonl"):
+    """One small deterministic system run with a live sink at *path*."""
+    profile = profile_by_name("art")
+    trace, warmup = TraceGenerator(profile, seed=7).generate_with_warmup(
+        measure=250
+    )
+    sink = open_sink(path, trace_format)
+    previous = set_sink(sink)
+    try:
+        system = NetworkedCacheSystem(design="A", scheme="multicast+fast_lru")
+        result = system.run(trace, profile, warmup=warmup)
+    finally:
+        set_sink(previous)
+        sink.close()
+    return result
+
+
+class TestSinkPlumbing:
+    def test_default_is_null_and_disabled(self):
+        assert current_sink() is NULL_SINK
+        assert current_sink().enabled is False
+
+    def test_set_sink_returns_previous(self, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "t.jsonl")
+        assert set_sink(sink) is NULL_SINK
+        assert current_sink() is sink
+        assert set_sink(None) is sink
+        assert current_sink() is NULL_SINK
+        sink.close()
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(TelemetryError, match="unknown trace format"):
+            open_sink(tmp_path / "t", "xml")
+
+    def test_chrome_rejects_unknown_phase(self, tmp_path):
+        sink = ChromeTraceSink(tmp_path / "t.json")
+        with pytest.raises(TelemetryError, match="phase"):
+            sink.emit("e", "cat", 0, ph="B")
+
+
+class TestJsonlDeterminism:
+    def test_identical_runs_are_byte_identical(self, tmp_path):
+        first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        _traced_run(first)
+        _traced_run(second)
+        a, b = first.read_bytes(), second.read_bytes()
+        assert len(a) > 0
+        assert a == b
+
+    def test_lines_are_valid_sorted_json(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _traced_run(path)
+        lines = path.read_text().splitlines()
+        assert lines
+        names = set()
+        for line in lines:
+            event = json.loads(line)
+            assert list(event) == sorted(event)
+            assert isinstance(event["ts"], int)
+            names.add(event["name"])
+        # The cache-transaction lifecycle must be visible.
+        assert "miss" in names or "hit" in names
+
+    def test_disabled_run_emits_nothing(self, tmp_path):
+        profile = profile_by_name("art")
+        trace, warmup = TraceGenerator(profile, seed=7).generate_with_warmup(
+            measure=250
+        )
+        system = NetworkedCacheSystem(design="A", scheme="multicast+fast_lru")
+        system.run(trace, profile, warmup=warmup)  # no sink installed
+        assert not list(tmp_path.iterdir())
+
+
+class TestChromeFormat:
+    def test_document_loads_and_has_required_fields(self, tmp_path):
+        path = tmp_path / "t.json"
+        _traced_run(path, trace_format="chrome")
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        assert events
+        payload = [e for e in events if e["ph"] != "M"]
+        assert payload
+        for event in payload:
+            assert isinstance(event["tid"], int)
+            assert isinstance(event["ts"], int)
+            if event["ph"] == "i":
+                assert event["s"] == "t"
+
+    def test_tids_assigned_in_first_use_order(self, tmp_path):
+        sink = ChromeTraceSink(tmp_path / "t.json")
+        sink.instant("a", "c", 0, tid="column-3")
+        sink.instant("b", "c", 1, tid="column-0")
+        sink.instant("c", "c", 2, tid="column-3")
+        assert sink._tids == {"column-3": 0, "column-0": 1}
+        sink.close()
+        document = json.loads((tmp_path / "t.json").read_text())
+        labels = {
+            e["tid"]: e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["name"] == "thread_name"
+        }
+        assert labels == {0: "column-3", 1: "column-0"}
+
+    def test_identical_runs_are_byte_identical(self, tmp_path):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        _traced_run(first, trace_format="chrome")
+        _traced_run(second, trace_format="chrome")
+        assert first.read_bytes() == second.read_bytes()
+
+
+class TestTracedTimingUnchanged:
+    def test_tracing_does_not_perturb_results(self, tmp_path):
+        traced = _traced_run(tmp_path / "t.jsonl")
+        profile = profile_by_name("art")
+        trace, warmup = TraceGenerator(profile, seed=7).generate_with_warmup(
+            measure=250
+        )
+        system = NetworkedCacheSystem(design="A", scheme="multicast+fast_lru")
+        plain = system.run(trace, profile, warmup=warmup)
+        assert traced.cycles == plain.cycles
+        assert traced.ipc == plain.ipc
+        assert traced.metrics == plain.metrics

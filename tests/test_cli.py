@@ -57,6 +57,75 @@ class TestCommands:
         assert "pJ/access" in out and "gating" in out
 
 
+class TestTelemetryFlags:
+    @pytest.fixture(autouse=True)
+    def _fresh_telemetry(self):
+        from repro.experiments.runner import reset_memo
+        from repro.telemetry import reset_global_metrics
+
+        reset_memo()
+        reset_global_metrics()
+        yield
+        reset_memo()
+        reset_global_metrics()
+
+    def test_metrics_out_writes_valid_json(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "metrics.json"
+        assert main(["run", "--benchmark", "art", "--measure", "200",
+                     "--metrics-out", str(target)]) == 0
+        err = capsys.readouterr().err
+        assert "1 cells:" in err
+        assert f"metrics written to {target}" in err
+        payload = json.loads(target.read_text())
+        metrics = payload["metrics"]
+        assert metrics
+        assert "noc.router.vc_alloc_failures" in metrics
+        assert "cache.bankset.eviction_chain_depth" in metrics
+        assert payload["provenance"]["source_fingerprint"]
+        assert payload["journal"][0]["total"] == 1
+
+    def test_trace_jsonl_written_and_nonempty(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "t.jsonl"
+        assert main(["run", "--benchmark", "art", "--measure", "200",
+                     "--trace", str(target)]) == 0
+        lines = target.read_text().splitlines()
+        assert lines
+        for line in lines[:50]:
+            json.loads(line)
+
+    def test_trace_chrome_is_perfetto_loadable(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "t.json"
+        assert main(["run", "--benchmark", "art", "--measure", "200",
+                     "--trace", str(target), "--trace-format", "chrome"]) == 0
+        document = json.loads(target.read_text())
+        assert document["traceEvents"]
+        assert any(e["ph"] == "X" for e in document["traceEvents"])
+
+    def test_trace_forces_serial_uncached(self, capsys, tmp_path):
+        from repro.experiments.runner import settings
+
+        target = tmp_path / "t.jsonl"
+        main(["run", "--benchmark", "art", "--measure", "200",
+              "--jobs", "4", "--trace", str(target)])
+        err = capsys.readouterr().err
+        assert "forces --jobs 1" in err
+        assert settings().jobs == 1
+        assert settings().cache is None
+
+    def test_null_sink_restored_after_traced_run(self, tmp_path):
+        from repro.telemetry import NULL_SINK, current_sink
+
+        main(["run", "--benchmark", "art", "--measure", "200",
+              "--trace", str(tmp_path / "t.jsonl")])
+        assert current_sink() is NULL_SINK
+
+
 class TestExtensionCommands:
     def test_cmp(self, capsys):
         main(["cmp", "--cores", "1", "2", "--designs", "A",
