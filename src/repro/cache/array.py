@@ -36,6 +36,10 @@ class CacheArray:
         self._bank_of_way = [bank_of_way(descriptors) for descriptors in columns]
         self._sets: dict[tuple[int, int], BankSetState] = {}
         self.stats = BankSetStats()
+        #: Optional content validator (see repro.validation.invariants):
+        #: when set, ``validator.on_access`` sees each access's before/after
+        #: set state and its outcome. None in normal runs.
+        self.validator = None
 
     def associativity(self, column: int) -> int:
         return len(self._bank_of_way[column])
@@ -52,7 +56,12 @@ class CacheArray:
     def access(self, address: Address, is_write: bool = False) -> AccessOutcome:
         """Apply one access to the contents and record statistics."""
         state = self.set_state(address.column, address.index)
-        outcome = self.policy.access(state, address.tag, is_write)
+        if self.validator is None:
+            outcome = self.policy.access(state, address.tag, is_write)
+        else:
+            before = state.resident_tags()
+            outcome = self.policy.access(state, address.tag, is_write)
+            self.validator.on_access(address, before, state, outcome)
         self.stats.record(outcome)
         return outcome
 
@@ -69,3 +78,17 @@ class CacheArray:
             sum(1 for block in state.ways if block is not None)
             for state in self._sets.values()
         )
+
+    def contents_digest(self) -> str:
+        """Deterministic digest of every materialized set's exact contents.
+
+        Two arrays that saw the same access sequence under the same policy
+        produce the same digest -- the differential oracle's final-contents
+        observable.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for key in sorted(self._sets):
+            digest.update(repr((key, self._sets[key].signature())).encode())
+        return digest.hexdigest()[:16]

@@ -76,6 +76,17 @@ class BankSetState:
     def resident_tags(self) -> list[int]:
         return [block.tag for block in self.ways if block is not None]
 
+    def signature(self) -> tuple:
+        """Hashable snapshot of the set's exact contents and ordering.
+
+        ``None`` marks an empty way; occupied ways contribute ``(tag,
+        dirty)``. Used by content digests and conservation checks.
+        """
+        return tuple(
+            None if block is None else (block.tag, block.dirty)
+            for block in self.ways
+        )
+
     def bank_of(self, way: int) -> int:
         return self.bank_of_way[way]
 

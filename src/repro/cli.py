@@ -12,6 +12,7 @@ report    regenerate every table and figure into one document
 cmp       multi-core shared-L2 scaling (future-work extension)
 snuca     S-NUCA vs D-NUCA baseline comparison
 trace     generate a synthetic trace file
+validate  invariant checkers + differential oracle (+ --fuzz N)
 """
 
 from __future__ import annotations
@@ -178,6 +179,40 @@ def cmd_trace(args: argparse.Namespace) -> str:
     )
 
 
+def cmd_validate(args: argparse.Namespace) -> str:
+    from repro.validation import fuzz, run_oracle
+
+    if args.fuzz:
+        report = fuzz(args.fuzz, seed=args.seed)
+        if not report.ok:
+            raise SystemExit(report.render())
+        return report.summary_line()
+
+    lines = []
+    measure = min(args.measure, 600)
+    for design, scheme in (
+        ("A", "multicast+fast_lru"),
+        ("B", "multicast+fast_lru"),
+        ("F", "unicast+lru"),
+    ):
+        oracle = run_oracle(
+            design=design,
+            scheme=scheme,
+            benchmark=args.benchmark,
+            measure=measure,
+            seed=args.seed,
+            sample=args.sample,
+        )
+        if not oracle.ok:
+            raise SystemExit(oracle.render())
+        lines.append(oracle.summary_line())
+    smoke = fuzz(12, seed=args.seed)
+    if not smoke.ok:
+        raise SystemExit(smoke.render())
+    lines.append(smoke.summary_line())
+    return "\n".join(lines)
+
+
 def cmd_headline(args: argparse.Namespace) -> str:
     return headline.render(headline.run(_config(args)))
 
@@ -310,6 +345,27 @@ def build_parser() -> argparse.ArgumentParser:
     snuca.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="art")
     common(snuca)
     snuca.set_defaults(handler=cmd_snuca)
+
+    validate = sub.add_parser(
+        "validate",
+        help="run the invariant checkers and differential oracle",
+        description=(
+            "Without --fuzz: differentially validate representative cells "
+            "(engine path vs checked replay vs flit-level re-enactment) and "
+            "run a short fuzz smoke. With --fuzz N: run N seeded fuzz cases "
+            "over random geometries, bank-set shapes, and traces; failures "
+            "are shrunk to minimal ready-to-paste pytest repros."
+        ),
+    )
+    validate.add_argument("--fuzz", type=int, default=0, metavar="N",
+                          help="run N fuzz cases instead of the oracle suite")
+    validate.add_argument("--benchmark", choices=BENCHMARK_NAMES,
+                          default="art")
+    validate.add_argument("--sample", type=int, default=3,
+                          help="transactions re-enacted at flit level per "
+                               "oracle cell (default 3)")
+    common(validate)
+    validate.set_defaults(handler=cmd_validate)
 
     trace = sub.add_parser("trace", help="generate a synthetic trace file")
     trace.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="twolf")

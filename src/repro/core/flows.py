@@ -134,6 +134,10 @@ class TransactionEngine:
         #: Core node the current access belongs to (CMP support); None
         #: means the geometry's default single core.
         self._core = None
+        #: Transaction validators (see repro.validation.invariants): each
+        #: sees ``on_transaction(column, outcome, timing)`` after every
+        #: executed access. Empty in normal runs.
+        self.validators: list = []
 
     def reset(self) -> None:
         """Forget per-column serialization state (fresh measurement window)."""
@@ -189,6 +193,8 @@ class TransactionEngine:
                       "data_at_core": timing.data_at_core,
                       "settled": timing.settled, "write": is_write},
             )
+        for validator in self.validators:
+            validator.on_transaction(column, outcome, timing)
         return timing
 
     def execute_early_miss(
@@ -234,6 +240,8 @@ class TransactionEngine:
                 args={"data_at_core": timing.data_at_core,
                       "settled": timing.settled, "write": is_write},
             )
+        for validator in self.validators:
+            validator.on_transaction(column, outcome, timing)
         return timing
 
     # -- bank helpers ---------------------------------------------------------

@@ -47,6 +47,10 @@ class RunResult:
     content: BankSetStats = field(repr=False)
     memory_reads: int = 0
     memory_writebacks: int = 0
+    #: Digest of the cache array's final contents (differential oracle
+    #: observable); part of equality so divergent contents never compare
+    #: equal across serial/parallel/cached evaluations.
+    contents_digest: str | None = None
     #: Telemetry snapshot of the measurement window (deterministic dict);
     #: excluded from equality so the bit-identical cache contract holds.
     metrics: dict | None = field(default=None, repr=False, compare=False)
@@ -197,6 +201,7 @@ class NetworkedCacheSystem:
             content=self.array.stats,
             memory_reads=self.memory.reads,
             memory_writebacks=self.memory.writebacks,
+            contents_digest=self.array.contents_digest(),
             metrics=self._collect_metrics(),
         )
 

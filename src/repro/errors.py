@@ -31,3 +31,7 @@ class TraceError(ReproError):
 
 class TelemetryError(ReproError):
     """The telemetry layer was configured or driven inconsistently."""
+
+
+class ValidationError(ReproError):
+    """A validation invariant was violated during a checked run."""

@@ -133,6 +133,15 @@ def _trace_with_warmup(spec: CellSpec):
     return cached
 
 
+def trace_with_warmup(spec: CellSpec):
+    """Public accessor for a spec's deterministic ``(trace, warmup)``.
+
+    The differential oracle replays exactly the trace a cell ran, so it
+    shares the per-process memo with :func:`execute_cell`.
+    """
+    return _trace_with_warmup(spec)
+
+
 @contextlib.contextmanager
 def _model_overrides(spec: CellSpec):
     """Apply the spec's global model overrides, restoring them on exit."""

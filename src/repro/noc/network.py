@@ -99,6 +99,9 @@ class Network:
         self._pending_ejects: dict[tuple[int, NodeId], int] = {}
         self._eject_meta: dict[tuple[int, NodeId], Packet] = {}
         self._delivered_callbacks: list = []
+        #: Installed validation checkers (see repro.validation.invariants);
+        #: empty in normal runs so the hook sites cost one truthiness test.
+        self._checkers: list = []
         #: Trace sink captured at construction; the NullSink fast path
         #: reduces every per-flit event site to one attribute check.
         self._sink = _trace.current_sink()
@@ -112,6 +115,23 @@ class Network:
     def on_delivery(self, callback) -> None:
         """Register ``callback(delivery)`` fired on each packet delivery."""
         self._delivered_callbacks.append(callback)
+
+    def install_checker(self, checker) -> None:
+        """Attach a validation checker to this network and its routers.
+
+        The checker's ``on_inject``/``after_cycle``/``on_delivery`` hooks
+        fire from the network, ``on_switch``/``on_replicate`` from every
+        router, and ``final_check`` when a checked run drains (see
+        :func:`repro.validation.run_with_checkers`).
+        """
+        self._checkers.append(checker)
+        for router in self.routers.values():
+            router.observers.append(checker)
+        self.on_delivery(checker.on_delivery)
+
+    @property
+    def checkers(self) -> tuple:
+        return tuple(self._checkers)
 
     def schedule_injection(
         self, packet: Packet, at_cycle: int, node: NodeId | None = None
@@ -142,6 +162,8 @@ class Network:
             key = (packet.packet_id, destination)
             self._pending_ejects[key] = packet.num_flits
             self._eject_meta[key] = packet
+        for checker in self._checkers:
+            checker.on_inject(self, packet)
 
     def step(self) -> None:
         """Advance the network one clock cycle."""
@@ -155,6 +177,8 @@ class Network:
         for node, router in self.routers.items():
             for forward in router.switch_phase(cycle):
                 self._handle_forward(node, forward, cycle)
+        for checker in self._checkers:
+            checker.after_cycle(self, cycle)
         self.cycle += 1
         self.stats.cycles = self.cycle
 
@@ -185,6 +209,25 @@ class Network:
             and not self._inject_queues_nonempty()
             and not self._arrivals
         )
+
+    def pending_work(self) -> bool:
+        """True while any injected packet still has flits to deliver."""
+        return bool(self._pending_ejects) or self._inject_queues_nonempty()
+
+    def next_timed_injection(self) -> int | None:
+        """Earliest cycle a scheduled future injection fires (None = none)."""
+        return min(self._timed_injections) if self._timed_injections else None
+
+    def outstanding_deliveries(self) -> list[tuple[int, NodeId, int]]:
+        """Undelivered ``(packet_id, destination, flits_remaining)`` rows."""
+        return sorted(
+            ((pid, dst, n) for (pid, dst), n in self._pending_ejects.items()),
+            key=str,
+        )
+
+    def in_flight_flits(self) -> int:
+        """Flits currently crossing links (scheduled future arrivals)."""
+        return sum(len(batch) for batch in self._arrivals.values())
 
     # -- internals ------------------------------------------------------------
 

@@ -100,6 +100,10 @@ class Router:
 
         self._rr_in: dict[object, int] = {port: 0 for port in self.inputs}
         self._rr_out: dict[object, int] = {port: 0 for port in self.out_ports}
+        #: Validation observers (installed via Network.install_checker);
+        #: notified after each committed switch traversal and each
+        #: multicast replication. Empty in normal runs.
+        self.observers: list = []
 
     # -- wiring ------------------------------------------------------------
 
@@ -203,6 +207,10 @@ class Router:
                 upstream.credits[key] -= 1
             borrow_vc.push(replica)
             self.stats.replications += 1
+            for observer in self.observers:
+                observer.on_replicate(
+                    self, flit, replica, borrow_port, borrow_vc, cycle
+                )
 
     def _find_replication_vc(
         self, exclude: object, also_exclude: list
@@ -305,7 +313,10 @@ class Router:
             port, forward = contenders[pick]
             self._rr_out[out_port] = self._rr_out[out_port] + 1
             granted_outputs.add(out_port)
-            winners.append(self._commit(port, forward, cycle))
+            committed = self._commit(port, forward, cycle)
+            for observer in self.observers:
+                observer.on_switch(self, port, committed, cycle)
+            winners.append(committed)
         return winners
 
     def _commit(self, port: object, forward: _Forward, cycle: int) -> _Forward:

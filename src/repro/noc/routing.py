@@ -222,6 +222,22 @@ def xyx_channel_number(cols: int, rows: int, src: NodeId, dst: NodeId) -> int:
     raise RoutingError(f"{src}->{dst} is not a mesh channel")
 
 
+def xyx_path_channel_numbers(
+    cols: int, rows: int, path: Iterable[NodeId]
+) -> list[int]:
+    """Fig. 5(b) enumeration number of each channel along a node path.
+
+    A legal XYX path must yield a strictly increasing list -- the online
+    form of the deadlock-freedom argument that the validation checkers
+    enforce per switch traversal.
+    """
+    nodes = list(path)
+    return [
+        xyx_channel_number(cols, rows, src, dst)
+        for src, dst in zip(nodes, nodes[1:])
+    ]
+
+
 def channel_dependency_graph(
     topology: Topology,
     routing: RouteComputer,

@@ -61,6 +61,12 @@ class EventQueue:
         """Number of live (non-cancelled) events, in O(1)."""
         return len(self._heap) - self._cancelled
 
+    @property
+    def last_pop_time(self) -> int | None:
+        """Time of the most recently dispatched event (the causality
+        floor: nothing may be scheduled earlier than this)."""
+        return self._last_pop_time
+
     def push(self, time: int, callback: Callable[[], Any]) -> Event:
         """Schedule *callback* at absolute *time* and return its event.
 
@@ -126,6 +132,11 @@ class Simulator:
         self.now = 0
         self._running = False
         self.events_executed = 0
+        #: Optional zero-argument hook called after every executed event.
+        #: The validation watchdog uses it to detect livelock: the queue's
+        #: causality guard forbids time going backward, so a simulation
+        #: that keeps executing events without ``now`` advancing is stuck.
+        self.watchdog: Callable[[], Any] | None = None
 
     def schedule(self, delay: int, callback: Callable[[], Any]) -> Event:
         """Schedule *callback* to run *delay* cycles from now."""
@@ -151,6 +162,11 @@ class Simulator:
         """Most live events ever queued at once."""
         return self._queue.high_water
 
+    @property
+    def last_event_time(self) -> int | None:
+        """The queue's causality floor (last dispatched event's time)."""
+        return self._queue.last_pop_time
+
     def publish_metrics(self, registry) -> None:
         """Export kernel counters into a telemetry registry."""
         registry.gauge("sim.kernel.event_queue_high_water").update_max(
@@ -168,6 +184,8 @@ class Simulator:
         self.now = event.time
         self.events_executed += 1
         event.callback()
+        if self.watchdog is not None:
+            self.watchdog()
         return True
 
     def run(self, until: int | None = None, max_events: int | None = None) -> int:

@@ -122,6 +122,30 @@ class TestTelemetryIntegration:
         assert cache.stats.hits == len(_sweep_specs())
         assert replayed == fresh
 
+    def test_serial_parallel_and_warm_replay_merge_identically(self, tmp_path):
+        """The full determinism triangle: a serial run, a ``--jobs 2`` run,
+        and a warm-cache replay of the same sweep must merge to the same
+        telemetry, not just the same results."""
+        from repro.telemetry import global_registry, reset_global_metrics
+
+        cache = ResultCache(directory=tmp_path)
+
+        def merged(jobs: int) -> dict:
+            reset_global_metrics()
+            run_cells(_sweep_specs(), jobs=jobs, cache=cache)
+            snapshot = global_registry().snapshot()
+            reset_global_metrics()
+            return snapshot
+
+        serial = merged(jobs=1)
+        reset_memo()
+        parallel = merged(jobs=2)
+        reset_memo()
+        replayed = merged(jobs=1)  # every cell served from the warm cache
+        assert cache.stats.hits >= len(_sweep_specs())
+        assert serial
+        assert serial == parallel == replayed
+
     def test_results_carry_metrics_and_provenance(self):
         result = run_cells([_sweep_specs()[0]], jobs=1, cache=None)[0]
         assert result.metrics

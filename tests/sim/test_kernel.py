@@ -119,6 +119,58 @@ class TestEventQueue:
         event = queue.push(5, lambda: None)
         assert queue.pop() is event
 
+    def test_compaction_preserves_causality_guard(self):
+        # The tombstone sweep rebuilds the heap; it must not relax the
+        # last-pop causality floor in the process.
+        queue = EventQueue()
+        queue.push(10, lambda: None)
+        queue.pop()  # floor = 10
+        doomed = [queue.push(50, lambda: None) for _ in range(200)]
+        for event in doomed:
+            event.cancel()
+        assert len(queue._heap) < 200  # the sweep physically removed tombstones
+        assert queue.last_pop_time == 10
+        with pytest.raises(SimulationError, match="time 9.*time 10"):
+            queue.push(9, lambda: None)
+
+    def test_compaction_at_floor_keeps_live_same_time_events(self):
+        # Cancelled and live events share the timestamp sitting exactly on
+        # the causality floor; the sweep must keep precisely the live ones
+        # and preserve their scheduling order.
+        queue = EventQueue()
+        queue.push(5, lambda: None)
+        queue.pop()  # floor = 5
+        order = []
+        doomed = []
+        for i in range(300):
+            event = queue.push(5, lambda i=i: order.append(i))
+            if i % 3:
+                doomed.append(event)
+        for event in doomed:
+            event.cancel()
+        assert len(queue._heap) < 300  # compaction happened
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert order == [i for i in range(300) if i % 3 == 0]
+
+    def test_len_after_cancel_then_push_at_same_timestamp(self):
+        queue = EventQueue()
+        stale = queue.push(7, lambda: None)
+        stale.cancel()
+        fresh = queue.push(7, lambda: None)
+        assert len(queue) == 1
+        assert queue.pop() is fresh
+        assert queue.pop() is None
+        assert len(queue) == 0
+
+    def test_last_pop_time_none_until_first_pop(self):
+        queue = EventQueue()
+        assert queue.last_pop_time is None
+        queue.push(3, lambda: None)
+        assert queue.last_pop_time is None
+        queue.pop()
+        assert queue.last_pop_time == 3
+
     def test_high_water_tracks_live_events(self):
         queue = EventQueue()
         events = [queue.push(t, lambda: None) for t in range(4)]
@@ -208,6 +260,59 @@ class TestSimulator:
 
     def test_step_returns_false_when_empty(self):
         assert Simulator().step() is False
+
+    def test_last_event_time_exposes_causality_floor(self):
+        sim = Simulator()
+        assert sim.last_event_time is None
+        sim.schedule(4, lambda: None)
+        sim.run()
+        assert sim.last_event_time == 4
+
+    def test_watchdog_hook_fires_after_each_event(self):
+        sim = Simulator()
+        ticks = []
+        sim.watchdog = lambda: ticks.append(sim.now)
+        sim.schedule(1, lambda: None)
+        sim.schedule(3, lambda: None)
+        sim.run()
+        assert ticks == [1, 3]
+
+    def test_simulator_watchdog_trips_on_livelock(self):
+        from repro.errors import ValidationError
+        from repro.validation import SimulatorWatchdog
+
+        sim = Simulator()
+        SimulatorWatchdog(sim, max_events_per_cycle=10)
+
+        def respawn():
+            sim.schedule(0, respawn)  # time never advances
+
+        sim.schedule(1, respawn)
+        with pytest.raises(ValidationError, match="livelock"):
+            sim.run()
+
+    def test_simulator_watchdog_tolerates_advancing_time(self):
+        from repro.validation import SimulatorWatchdog
+
+        sim = Simulator()
+        SimulatorWatchdog(sim, max_events_per_cycle=3)
+
+        def chain(remaining):
+            if remaining:
+                sim.schedule(1, lambda: chain(remaining - 1))
+
+        sim.schedule(1, lambda: chain(20))
+        sim.run()  # each event advances the clock: never trips
+        assert sim.now == 21
+
+    def test_simulator_watchdog_detach(self):
+        from repro.validation import SimulatorWatchdog
+
+        sim = Simulator()
+        watchdog = SimulatorWatchdog(sim)
+        assert sim.watchdog is not None
+        watchdog.detach()
+        assert sim.watchdog is None
 
     def test_publish_metrics_exports_kernel_series(self):
         from repro.telemetry import MetricsRegistry

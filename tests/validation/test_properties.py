@@ -1,0 +1,132 @@
+"""Hypothesis property tests: address codec and XYX path legality."""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.cache.address import AddressMapper
+from repro.errors import RoutingError
+from repro.noc.routing import (
+    XYXRouting,
+    xyx_path_channel_numbers,
+)
+from repro.noc.topology import MeshTopology, SimplifiedMeshTopology
+
+MAPPER = AddressMapper()
+LAYOUT = MAPPER.layout
+
+raw_addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+tags = st.integers(min_value=0, max_value=(1 << LAYOUT.tag_bits) - 1)
+indices = st.integers(min_value=0, max_value=(1 << LAYOUT.index_bits) - 1)
+columns = st.integers(min_value=0, max_value=(1 << LAYOUT.column_bits) - 1)
+offsets = st.integers(min_value=0, max_value=(1 << LAYOUT.offset_bits) - 1)
+
+
+class TestAddressCodecProperties:
+    @given(raw=raw_addresses)
+    def test_decode_then_encode_round_trips(self, raw):
+        address = MAPPER.decode(raw)
+        assert (
+            MAPPER.encode(
+                address.tag, address.index, address.column, address.offset
+            )
+            == raw
+        )
+
+    @given(tag=tags, index=indices, column=columns, offset=offsets)
+    def test_encode_then_decode_recovers_fields(self, tag, index, column, offset):
+        address = MAPPER.decode(MAPPER.encode(tag, index, column, offset))
+        assert (address.tag, address.index, address.column, address.offset) == (
+            tag, index, column, offset,
+        )
+
+    @given(raw=raw_addresses)
+    def test_block_address_clears_exactly_the_offset(self, raw):
+        address = MAPPER.decode(raw)
+        block = MAPPER.decode(address.block_address)
+        assert block.offset == 0
+        assert (block.tag, block.index, block.column) == (
+            address.tag, address.index, address.column,
+        )
+        assert MAPPER.block_number(raw) == raw >> LAYOUT.offset_bits
+
+
+@st.composite
+def mesh_pairs(draw):
+    """Random full-mesh geometry plus an arbitrary (src, dst) pair."""
+    cols = draw(st.integers(min_value=2, max_value=8))
+    rows = draw(st.integers(min_value=2, max_value=8))
+    node = st.tuples(
+        st.integers(min_value=0, max_value=cols - 1),
+        st.integers(min_value=0, max_value=rows - 1),
+    )
+    return cols, rows, draw(node), draw(node)
+
+
+@st.composite
+def simplified_pairs(draw):
+    """Random simplified-mesh geometry plus a *routable* (src, dst) pair:
+    same column, or an endpoint on the row-0 spine (the only places the
+    simplified mesh keeps horizontal channels)."""
+    cols = draw(st.integers(min_value=2, max_value=8))
+    rows = draw(st.integers(min_value=2, max_value=8))
+    xs = st.integers(min_value=0, max_value=cols - 1)
+    ys = st.integers(min_value=0, max_value=rows - 1)
+    shape = draw(st.sampled_from(["same_column", "src_on_spine", "dst_on_spine"]))
+    if shape == "same_column":
+        x = draw(xs)
+        src, dst = (x, draw(ys)), (x, draw(ys))
+    elif shape == "src_on_spine":
+        src, dst = (draw(xs), 0), (draw(xs), draw(ys))
+    else:
+        src, dst = (draw(xs), draw(ys)), (draw(xs), 0)
+    return cols, rows, src, dst
+
+
+class TestXYXPathProperties:
+    @given(case=mesh_pairs())
+    @settings(max_examples=200)
+    def test_full_mesh_paths_strictly_ascend_the_enumeration(self, case):
+        cols, rows, src, dst = case
+        topology = MeshTopology(cols, rows)
+        path = XYXRouting().path(topology, src, dst)
+        assert path[0] == src and path[-1] == dst
+        numbers = xyx_path_channel_numbers(cols, rows, path)
+        assert len(numbers) == len(path) - 1
+        assert all(a < b for a, b in zip(numbers, numbers[1:]))
+
+    @given(case=simplified_pairs())
+    @settings(max_examples=200)
+    def test_simplified_mesh_routable_pairs_are_legal(self, case):
+        cols, rows, src, dst = case
+        topology = SimplifiedMeshTopology(cols, rows)
+        routing = XYXRouting()
+        path = routing.path(topology, src, dst)
+        assert path[0] == src and path[-1] == dst
+        # Every step is a real channel of the pruned topology.
+        for a, b in zip(path, path[1:]):
+            assert topology.has_channel(a, b)
+        numbers = xyx_path_channel_numbers(cols, rows, path)
+        assert all(a < b for a, b in zip(numbers, numbers[1:]))
+        assert routing.hops(topology, src, dst) == len(path) - 1
+
+    @given(case=mesh_pairs())
+    @settings(max_examples=200)
+    def test_simplified_mesh_rejects_exactly_the_off_spine_pairs(self, case):
+        cols, rows, src, dst = case
+        legal = src[0] == dst[0] or src[1] == 0 or dst[1] == 0
+        topology = SimplifiedMeshTopology(cols, rows)
+        if legal:
+            XYXRouting().path(topology, src, dst)
+        else:
+            with pytest.raises(RoutingError):
+                XYXRouting().path(topology, src, dst)
+
+    @given(case=mesh_pairs())
+    @settings(max_examples=100)
+    def test_hop_count_matches_manhattan_distance(self, case):
+        cols, rows, src, dst = case
+        topology = MeshTopology(cols, rows)
+        hops = XYXRouting().hops(topology, src, dst)
+        assert hops == abs(src[0] - dst[0]) + abs(src[1] - dst[1])
