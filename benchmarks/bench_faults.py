@@ -1,0 +1,115 @@
+"""Fault-campaign benchmark: resilience overhead and availability curve.
+
+Standalone (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py [--measure N]
+
+Runs the reference fault campaign (Design A, Multicast Fast-LRU, `art`)
+across a rate sweep, times the zero-fault baseline against the faulted
+points (the price of the resilience machinery plus the faults
+themselves), and records the availability / latency-degradation curve.
+Human-readable output goes to ``benchmarks/out/faults.txt``; the
+machine-readable ``faults`` section is merged into ``BENCH_runtime.json``
+at the repo root alongside the engine-runtime numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.runner import reset_memo
+from repro.faults import CampaignConfig, run_campaign
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+OUT_DIR = pathlib.Path(__file__).resolve().parent / "out"
+
+SCHEME = "multicast+fast_lru"
+RATES = (0.0, 1e-3, 1e-2)
+
+
+def bench_campaign(measure: int) -> dict:
+    config = CampaignConfig(
+        designs=("A",),
+        schemes=(SCHEME,),
+        benchmark="art",
+        rates=RATES,
+        measure=measure,
+        seed=1,
+        fault_seed=7,
+    )
+    reset_memo()
+    t0 = time.perf_counter()
+    result = run_campaign(config)
+    campaign_s = time.perf_counter() - t0
+    reset_memo()
+
+    points = [point.as_dict() for point in result.points]
+    baseline = result.point("A", SCHEME, 0.0)
+    worst = result.point("A", SCHEME, max(RATES))
+    return {
+        "measure": measure,
+        "rates": list(config.sweep_rates()),
+        "campaign_s": round(campaign_s, 3),
+        "baseline_avg_latency": round(baseline.average_latency, 3),
+        "worst_rate_availability": worst.availability,
+        "worst_rate_latency_degradation": round(
+            worst.latency_degradation, 3
+        ),
+        "worst_rate_faults_injected": worst.faults_injected,
+        "points": points,
+    }
+
+
+def render(faults: dict) -> str:
+    lines = [
+        "Fault-campaign benchmark",
+        "========================",
+        f"Design A, {SCHEME}, art, measure={faults['measure']}, "
+        f"rates={faults['rates']}",
+        f"  campaign wall time  {faults['campaign_s']:8.3f} s",
+        "",
+        f"{'rate':>8}  {'avail':>7}  {'lat degr':>8}  {'faults':>6}  "
+        f"{'rerouted':>8}  {'retries':>7}",
+    ]
+    for point in faults["points"]:
+        lines.append(
+            f"{point['rate']:>8g}  {point['availability']:>7.1%}  "
+            f"x{point['latency_degradation']:>7.2f}  "
+            f"{point['faults_injected']:>6}  "
+            f"{point['rerouted_packets']:>8}  {point['retries']:>7}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--measure", type=int, default=600,
+                        help="measured accesses per cell (default 600)")
+    args = parser.parse_args(argv)
+
+    faults = bench_campaign(args.measure)
+    text = render(faults)
+    print(text)
+
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "faults.txt").write_text(text + "\n", encoding="utf-8")
+
+    bench_path = ROOT / "BENCH_runtime.json"
+    payload = (
+        json.loads(bench_path.read_text()) if bench_path.exists() else {}
+    )
+    payload["faults"] = faults
+    bench_path.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

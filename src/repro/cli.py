@@ -11,6 +11,7 @@ energy    energy report + on-demand gating for one cell
 report    regenerate every table and figure into one document
 cmp       multi-core shared-L2 scaling (future-work extension)
 snuca     S-NUCA vs D-NUCA baseline comparison
+faults    seeded fault-injection campaign (resilience curves)
 trace     generate a synthetic trace file
 validate  invariant checkers + differential oracle (+ --fuzz N)
 """
@@ -213,6 +214,22 @@ def cmd_validate(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def cmd_faults(args: argparse.Namespace) -> str:
+    from repro.experiments import fault_sweep
+    from repro.faults.campaign import CampaignConfig
+
+    config = CampaignConfig(
+        designs=tuple(args.designs),
+        schemes=tuple(args.schemes),
+        benchmark=args.benchmark,
+        rates=tuple(args.rate),
+        measure=args.accesses,
+        seed=args.seed,
+        fault_seed=args.fault_seed if args.fault_seed is not None else args.seed,
+    )
+    return fault_sweep.render(fault_sweep.run(config))
+
+
 def cmd_headline(args: argparse.Namespace) -> str:
     return headline.render(headline.run(_config(args)))
 
@@ -345,6 +362,31 @@ def build_parser() -> argparse.ArgumentParser:
     snuca.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="art")
     common(snuca)
     snuca.set_defaults(handler=cmd_snuca)
+
+    faults = sub.add_parser(
+        "faults",
+        help="seeded fault-injection campaign (resilience curves)",
+        description=(
+            "Sweep a fault-severity rate (permanent link sampling rate and "
+            "per-traversal transient rate) across designs and schemes; "
+            "report availability, goodput, and latency degradation per "
+            "point. The zero-rate baseline is always included."
+        ),
+    )
+    faults.add_argument("--rate", type=float, nargs="+", default=[1e-3],
+                        metavar="R",
+                        help="fault rate(s) to sweep (default 1e-3)")
+    faults.add_argument("--accesses", type=int, default=600, metavar="N",
+                        help="measured accesses per cell (default 600)")
+    faults.add_argument("--designs", nargs="+", choices=DESIGN_NAMES,
+                        default=["A", "C", "F"])
+    faults.add_argument("--schemes", nargs="+", choices=FIGURE8_SCHEMES,
+                        default=["multicast+fast_lru"])
+    faults.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="art")
+    faults.add_argument("--fault-seed", type=int, default=None,
+                        help="fault-plan sampling seed (default: --seed)")
+    common(faults)
+    faults.set_defaults(handler=cmd_faults)
 
     validate = sub.add_parser(
         "validate",

@@ -175,11 +175,24 @@ class TransactionEngine:
         slots = self._column_slots[column]
         slot = min(range(len(slots)), key=slots.__getitem__)
         start = max(issue_time, slots[slot])
+        fault_stats = getattr(self.geometry, "fault_stats", None)
+        if fault_stats is not None:
+            degraded_before = (
+                fault_stats.rerouted_traversals + fault_stats.retries
+            )
         t0 = self.geometry.enter_column(column, start)
         if self.scheme.multicast:
             timing = self._multicast_access(column, outcome, t0, is_write)
         else:
             timing = self._unicast_access(column, outcome, t0, is_write)
+        if fault_stats is not None:
+            # Accesses whose flow crossed a reroute or ran the transient
+            # retry loop (per-access view of the per-traversal counters).
+            degraded = (
+                fault_stats.rerouted_traversals + fault_stats.retries
+            ) > degraded_before
+            if degraded:
+                self.metrics.counter("cache.txn.degraded_accesses").inc()
         timing.issued = issue_time
         timing.bank_cycles = self._spine_bank_cycles
         if timing.settled < timing.data_at_core:

@@ -71,6 +71,20 @@ class CellSpec:
     spike_wire_scale: int | None = None
     #: Partial-tag early miss detection (D-NUCA smart search).
     early_miss_detection: bool = False
+    #: Fault-injection rates (repro.faults); all-zero means the pristine
+    #: build path runs untouched and results stay bit-identical to it.
+    link_fault_rate: float = 0.0
+    bank_fault_rate: float = 0.0
+    transient_fault_rate: float = 0.0
+    fault_seed: int = 0
+
+    @property
+    def has_faults(self) -> bool:
+        return (
+            self.link_fault_rate > 0.0
+            or self.bank_fault_rate > 0.0
+            or self.transient_fault_rate > 0.0
+        )
 
     def key(self) -> tuple:
         """Stable cache key: field names and values in declaration order."""
@@ -183,7 +197,48 @@ def _build_system(spec: CellSpec) -> NetworkedCacheSystem:
     )
     if spec.spike_wire_scale is not None:
         _rebuild_uniform_halo(system, spec.spike_wire_scale)
+    if spec.has_faults:
+        _apply_faults(system, spec)
     return system
+
+
+def _apply_faults(system: NetworkedCacheSystem, spec: CellSpec) -> None:
+    """Swap the pristine geometry for a degraded one under a sampled plan.
+
+    Samples a :class:`~repro.faults.models.FaultPlan` from the spec's
+    rates and fault seed, rebuilds the geometry as a proof-checked
+    :class:`~repro.faults.recovery.DegradedCacheGeometry` (columns
+    truncated to their live prefixes), and rebuilds the content array and
+    transaction engine on top of it -- the same rebuild discipline as
+    :func:`_rebuild_uniform_halo`.
+    """
+    from repro.cache.array import CacheArray
+    from repro.core.flows import TransactionEngine
+    from repro.faults.models import FaultPlan
+    from repro.faults.recovery import DegradedCacheGeometry
+
+    topology = system.geometry.topology
+    plan = FaultPlan.sample(
+        topology,
+        link_rate=spec.link_fault_rate,
+        bank_rate=spec.bank_fault_rate,
+        transient_rate=spec.transient_fault_rate,
+        seed=spec.fault_seed,
+    )
+    geometry = DegradedCacheGeometry(
+        topology,
+        system.geometry.columns,
+        plan,
+        seed=spec.fault_seed,
+        router_config=system.geometry.router_config,
+        spike_queue_entries=spec.spike_queue_entries,
+    )
+    system.geometry = geometry
+    system.array = CacheArray(
+        geometry.columns, system.scheme.policy, system.mapper
+    )
+    system.memory.channel.floor_clock = geometry.floor_clock
+    system.engine = TransactionEngine(geometry, system.memory, system.scheme)
 
 
 def _rebuild_uniform_halo(system: NetworkedCacheSystem, wire_scale: int) -> None:

@@ -1,0 +1,69 @@
+"""Fault injection and resilience (DESIGN.md §11).
+
+Fault models install on a live :class:`~repro.noc.network.Network` the way
+invariant checkers do; degraded routing keeps surviving traffic XYX-legal;
+recovery retries lost messages end-to-end; campaigns sweep fault rate
+against scheme and topology through the standard experiment runner.
+"""
+
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignPoint,
+    CampaignResult,
+    run_campaign,
+)
+from repro.faults.models import (
+    BankFault,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    LinkFault,
+    TransientFaults,
+    VCFault,
+    protected_nodes,
+)
+from repro.faults.recovery import (
+    DegradedCacheGeometry,
+    RecoveryManager,
+    RecoveryStats,
+    RetryPolicy,
+    TransactionFaultStats,
+    install_resilience,
+    truncate_columns,
+)
+from repro.faults.reroute import (
+    DegradedRouting,
+    alive_nodes,
+    coreachable_nodes,
+    fallback_destination,
+    reachable_nodes,
+    verify_degraded,
+)
+
+__all__ = [
+    "BankFault",
+    "CampaignConfig",
+    "CampaignPoint",
+    "CampaignResult",
+    "DegradedCacheGeometry",
+    "DegradedRouting",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "LinkFault",
+    "RecoveryManager",
+    "RecoveryStats",
+    "RetryPolicy",
+    "TransactionFaultStats",
+    "TransientFaults",
+    "VCFault",
+    "alive_nodes",
+    "coreachable_nodes",
+    "fallback_destination",
+    "install_resilience",
+    "protected_nodes",
+    "reachable_nodes",
+    "run_campaign",
+    "truncate_columns",
+    "verify_degraded",
+]

@@ -27,19 +27,36 @@ from repro.noc.topology import MeshTopology, NodeId
 
 @dataclass
 class ProtocolTrace:
-    """Timing record of one protocol-level access."""
+    """Timing record of one protocol-level access.
+
+    Raw event timestamps live in ``*_at`` fields (``None`` until the event
+    happens); the guarded properties raise :class:`ProtocolError` instead
+    of surfacing ``None`` into arithmetic, like :attr:`data_latency`.
+    """
 
     issued: int
     request_arrivals: dict[int, int] = field(default_factory=dict)
     data_at_core: int | None = None
-    chain_done: int | None = None
-    memory_requested: int | None = None
+    chain_done_at: int | None = None
+    memory_requested_at: int | None = None
 
     @property
     def data_latency(self) -> int:
         if self.data_at_core is None:
             raise ProtocolError("access has not completed")
         return self.data_at_core - self.issued
+
+    @property
+    def chain_done(self) -> int:
+        if self.chain_done_at is None:
+            raise ProtocolError("eviction chain has not completed")
+        return self.chain_done_at
+
+    @property
+    def memory_requested(self) -> int:
+        if self.memory_requested_at is None:
+            raise ProtocolError("memory has not been requested")
+        return self.memory_requested_at
 
 
 class FlitLevelCacheProtocol:
@@ -67,6 +84,29 @@ class FlitLevelCacheProtocol:
         self._packet_roles: dict[int, tuple] = {}
 
     # -- public API -----------------------------------------------------------
+
+    def attach_resilience(self, plan, *, seed: int = 0, policy=None,
+                          verify: bool = True):
+        """Install a fault plan plus end-to-end recovery on this protocol.
+
+        Retransmitted packets adopt the lost packet's protocol role, so a
+        lost Fast-LRU eviction-chain leg (a ``REPLACEMENT`` hop) is
+        re-issued and the chain completes instead of silently dropping the
+        evicted block -- block conservation stays green under faults.
+        Returns ``(injector, recovery)``.
+        """
+        from repro.faults.recovery import install_resilience
+
+        injector, recovery = install_resilience(
+            self.network, plan, seed=seed, policy=policy, verify=verify
+        )
+        recovery.on_retransmit(self._adopt_role)
+        return injector, recovery
+
+    def _adopt_role(self, lost: Packet, clone: Packet) -> None:
+        role = self._packet_roles.get(lost.packet_id)
+        if role is not None:
+            self._packet_roles[clone.packet_id] = role
 
     def run_hit(self, column: int, depth: int) -> ProtocolTrace:
         """One Multicast Fast-LRU hit at bank *depth* of *column*."""
@@ -155,7 +195,7 @@ class FlitLevelCacheProtocol:
     def _send_evict(self, position: int, at_cycle: int) -> None:
         stop = self._hit_depth if self._hit_depth is not None else self.rows - 1
         if position >= stop:
-            self._trace.chain_done = at_cycle
+            self._trace.chain_done_at = at_cycle
             return
         packet = Packet(MessageType.REPLACEMENT,
                         source=self._bank_node(position),
@@ -178,7 +218,7 @@ class FlitLevelCacheProtocol:
         self.network.schedule_injection(packet, delivery.delivered_at)
 
     def _on_memory_request(self, delivery: Delivery) -> None:
-        self._trace.memory_requested = delivery.delivered_at
+        self._trace.memory_requested_at = delivery.delivered_at
         ready = delivery.delivered_at + memory_access_latency()
         packet = Packet(MessageType.MEMORY_FILL, source=self.memory,
                         destinations=(self._bank_node(0),))

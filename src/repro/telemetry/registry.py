@@ -231,6 +231,10 @@ CHAIN_DEPTH_EDGES = (0, 1, 2, 3, 4, 6, 8, 12, 16)
 #: Fixed bucket edges for queueing/blocked-cycle histograms.
 WAIT_CYCLE_EDGES = (0, 1, 2, 4, 8, 16, 32, 64, 128)
 
+#: Fixed bucket edges for fault recovery-latency histograms (extra cycles
+#: a message spent in timeout + backoff + retransmission before arriving).
+RECOVERY_LATENCY_EDGES = (0, 16, 32, 64, 128, 256, 512, 1024, 2048)
+
 
 _global = MetricsRegistry()
 

@@ -1,6 +1,6 @@
 """Seeded fuzzer: random geometries, traffic, and traces under checkers.
 
-``fuzz(n, seed)`` samples cases from three families:
+``fuzz(n, seed)`` samples cases from four families:
 
 * **noc** -- a random mesh / simplified-mesh / halo geometry with random
   unicast and multicast packets at random injection cycles, driven to
@@ -11,7 +11,12 @@
   tag space (collisions are where eviction-chain bugs live) under the
   block-conservation and shadow-LRU checkers;
 * **oracle** -- a random Table-3 design / scheme / benchmark cell at a
-  small measure length through :func:`repro.validation.run_oracle`.
+  small measure length through :func:`repro.validation.run_oracle`;
+* **faults** -- a noc-family geometry and traffic with a seeded fault
+  plan (link cuts, VC failures, transient flit loss) installed through
+  :func:`repro.faults.install_resilience`, checking that degraded
+  routing plus timeout/retransmit drains the run with every tracked
+  message delivered or explicitly abandoned.
 
 Every case is a plain dataclass whose ``repr`` round-trips, so a failing
 case shrinks (greedy delta-debugging over its packets / accesses /
@@ -96,6 +101,27 @@ class OracleCase:
     sample: int = 2
 
 
+@dataclass(frozen=True)
+class FaultsCase:
+    """A random geometry + sampled fault plan + traffic under recovery.
+
+    Exercises the whole resilience stack: sampled link/transient faults,
+    degraded routing, injection filtering, timeout/retransmit -- all under
+    the full network checker set. The run must drain with every tracked
+    message either delivered or explicitly abandoned.
+    """
+
+    kind: str  # "mesh" | "simplified" | "halo"
+    cols: int
+    rows: int
+    link_rate: float = 0.0
+    vc_rate: float = 0.0
+    transient_rate: float = 0.0
+    fault_seed: int = 0
+    at_cycle: int = 0
+    packets: tuple = ()
+
+
 # -- generation ---------------------------------------------------------------
 
 
@@ -175,17 +201,40 @@ def _make_oracle_case(rng: random.Random) -> OracleCase:
     )
 
 
+def _make_faults_case(rng: random.Random) -> FaultsCase:
+    base = _make_noc_case(rng)
+    # Rates stay modest: per-flit-traversal transients compound over
+    # hops x flits, and the point is recovery coverage, not exhaustion.
+    link_rate = rng.choice((0.0, 0.08, 0.15, 0.25))
+    vc_rate = rng.choice((0.0, 0.0, 0.1))
+    transient_rate = rng.choice((0.0, 0.02, 0.05))
+    if link_rate == vc_rate == transient_rate == 0.0:
+        link_rate = 0.15
+    return FaultsCase(
+        kind=base.kind,
+        cols=base.cols,
+        rows=base.rows,
+        link_rate=link_rate,
+        vc_rate=vc_rate,
+        transient_rate=transient_rate,
+        fault_seed=rng.randint(0, 99),
+        at_cycle=rng.choice((0, 0, rng.randint(1, 12))),
+        packets=base.packets,
+    )
+
+
 _FAMILY_MAKERS = {
     "noc": _make_noc_case,
     "cache": _make_cache_case,
     "oracle": _make_oracle_case,
+    "faults": _make_faults_case,
 }
 
-DEFAULT_FAMILIES = ("noc", "cache", "noc", "cache", "oracle")
+DEFAULT_FAMILIES = ("noc", "cache", "faults", "noc", "cache", "oracle")
 
 
 def generate_case(family: str, rng: random.Random):
-    """One random case of *family* ('noc' | 'cache' | 'oracle')."""
+    """One random case of *family* ('noc' | 'cache' | 'oracle' | 'faults')."""
     try:
         maker = _FAMILY_MAKERS[family]
     except KeyError:
@@ -236,6 +285,37 @@ def _run_cache_case(case: CacheCase) -> None:
         checker.check(tag, before, state, outcome, key=case.bank_of_way)
 
 
+def _run_faults_case(case: FaultsCase) -> None:
+    from repro.faults import FaultPlan, install_resilience
+    from repro.noc.network import Network
+    from repro.noc.packet import MessageType, Packet
+
+    topology = _build_topology(NocCase(case.kind, case.cols, case.rows))
+    network = Network(topology)
+    for checker in default_network_checkers(topology):
+        network.install_checker(checker)
+    plan = FaultPlan.sample(
+        topology,
+        link_rate=case.link_rate,
+        vc_rate=case.vc_rate,
+        transient_rate=case.transient_rate,
+        seed=case.fault_seed,
+        at_cycle=case.at_cycle,
+    )
+    _, recovery = install_resilience(network, plan, seed=case.fault_seed)
+    for spec in case.packets:
+        packet = Packet(
+            MessageType(spec.message), spec.source, tuple(spec.destinations)
+        )
+        network.schedule_injection(packet, at_cycle=spec.inject_cycle)
+    run_with_checkers(network, max_cycles=60_000, stall_limit=1000)
+    if recovery.outstanding_messages():
+        raise ValidationError(
+            f"{recovery.outstanding_messages()} tracked message(s) neither "
+            "delivered nor abandoned after drain"
+        )
+
+
 def _run_oracle_case(case: OracleCase) -> None:
     from repro.validation.differential import run_oracle
 
@@ -261,6 +341,8 @@ def run_case(case) -> None:
         _run_cache_case(case)
     elif isinstance(case, OracleCase):
         _run_oracle_case(case)
+    elif isinstance(case, FaultsCase):
+        _run_faults_case(case)
     else:
         raise ValidationError(f"not a fuzz case: {case!r}")
 
@@ -330,6 +412,20 @@ def shrink_case(case):
             if _fails(candidate):
                 return candidate
         return case
+    if isinstance(case, FaultsCase):
+        packets = shrink_list(
+            list(case.packets),
+            lambda kept: _fails(replace(case, packets=tuple(kept))),
+        )
+        case = replace(case, packets=tuple(packets))
+        # Try switching whole fault classes off while the case still fails.
+        for knob in ("transient_rate", "vc_rate", "link_rate"):
+            if getattr(case, knob) == 0.0:
+                continue
+            candidate = replace(case, **{knob: 0.0})
+            if _fails(candidate):
+                case = candidate
+        return case
     return case
 
 
@@ -340,6 +436,7 @@ _CASE_IMPORTS = {
     NocCase: "NocCase, PacketSpec",
     CacheCase: "CacheCase",
     OracleCase: "OracleCase",
+    FaultsCase: "FaultsCase, PacketSpec",
 }
 
 

@@ -1,0 +1,147 @@
+"""Fault model tests: sampling determinism, protection, injection filtering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    BankFault,
+    FaultInjector,
+    FaultPlan,
+    TransientFaults,
+    protected_nodes,
+)
+from repro.noc.packet import MessageType, Packet
+from repro.noc.topology import (
+    HUB,
+    HaloTopology,
+    MeshTopology,
+    SimplifiedMeshTopology,
+)
+from repro.telemetry.registry import MetricsRegistry
+
+
+class TestProtectedNodes:
+    def test_mesh_protects_row0_and_memory_column(self):
+        topology = MeshTopology(4, 4)
+        protected = protected_nodes(topology)
+        for x in range(4):
+            assert (x, 0) in protected
+        mx, my = topology.memory_attach
+        assert my == 3
+        for y in range(4):
+            assert (mx, y) in protected
+        assert (0, 1) not in protected
+
+    def test_simplified_mesh_protects_row0(self):
+        protected = protected_nodes(SimplifiedMeshTopology(4, 4))
+        for x in range(4):
+            assert (x, 0) in protected
+        assert (0, 2) not in protected
+
+    def test_halo_protects_hub_and_position0(self):
+        topology = HaloTopology(8, 4)
+        protected = protected_nodes(topology)
+        assert HUB in protected
+        for s in range(topology.num_spikes):
+            assert ("spike", s, 0) in protected
+
+
+class TestFaultPlanSample:
+    def test_same_seed_same_plan(self):
+        topology = MeshTopology(4, 4)
+        kwargs = dict(
+            link_rate=0.4, vc_rate=0.2, bank_rate=0.3,
+            transient_rate=0.05, seed=3,
+        )
+        assert FaultPlan.sample(topology, **kwargs) == FaultPlan.sample(
+            topology, **kwargs
+        )
+
+    def test_different_seeds_differ(self):
+        topology = MeshTopology(5, 5)
+        plans = {
+            FaultPlan.sample(topology, link_rate=0.5, seed=s).links
+            for s in range(6)
+        }
+        assert len(plans) > 1
+
+    def test_protected_links_spared(self):
+        topology = MeshTopology(4, 4)
+        protected = protected_nodes(topology)
+        plan = FaultPlan.sample(topology, link_rate=1.0, seed=0)
+        assert plan.links
+        for fault in plan.links:
+            assert fault.src not in protected
+            assert fault.dst not in protected
+
+    def test_link_failures_are_bidirectional(self):
+        plan = FaultPlan.sample(MeshTopology(4, 4), link_rate=1.0, seed=1)
+        channels = plan.dead_channels()
+        for src, dst in channels:
+            assert (dst, src) in channels
+
+    def test_zero_rates_null_plan(self):
+        plan = FaultPlan.sample(MeshTopology(3, 3), seed=9)
+        assert plan.is_null
+        assert plan.describe() == "no faults"
+
+    def test_at_cycle_propagates(self):
+        plan = FaultPlan.sample(
+            MeshTopology(4, 4), link_rate=1.0, seed=0, at_cycle=17
+        )
+        assert plan.links
+        assert all(fault.at_cycle == 17 for fault in plan.links)
+
+    def test_vc_faults_spare_vc0(self):
+        plan = FaultPlan.sample(MeshTopology(4, 4), vc_rate=1.0, seed=0)
+        assert plan.vcs
+        assert all(fault.vc != 0 for fault in plan.vcs)
+
+
+class TestTransientFaults:
+    def test_rate_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            TransientFaults(drop_rate=1.5)
+
+    def test_total_rate(self):
+        assert TransientFaults(0.01, 0.02).total_rate == pytest.approx(0.03)
+
+
+def _packet(destinations, source=(0, 0)):
+    return Packet(MessageType.READ_REQUEST, source, tuple(destinations))
+
+
+class TestInjectorAdmit:
+    def test_dead_bank_destination_filtered(self):
+        injector = FaultInjector(FaultPlan(banks=(BankFault((1, 1)),)))
+        packet = _packet([(1, 1), (2, 1)])
+        assert injector.admit(None, packet, (0, 0))
+        assert packet.destinations == ((2, 1),)
+        assert injector.stats.filtered_destinations == 1
+
+    def test_fully_dead_packet_rejected(self):
+        injector = FaultInjector(FaultPlan(banks=(BankFault((1, 1)),)))
+        assert not injector.admit(None, _packet([(1, 1)]), (0, 0))
+        assert injector.stats.rejected_packets == 1
+
+    def test_unroutable_destination_filtered(self):
+        injector = FaultInjector(FaultPlan())
+        injector.set_route_filter(lambda src, dst: dst != (2, 2))
+        packet = _packet([(2, 2), (1, 0)])
+        assert injector.admit(None, packet, (0, 0))
+        assert packet.destinations == ((1, 0),)
+        assert injector.stats.unroutable_destinations == 1
+
+    def test_no_faults_pass_through(self):
+        injector = FaultInjector(FaultPlan())
+        packet = _packet([(1, 1), (2, 2)])
+        assert injector.admit(None, packet, (0, 0))
+        assert packet.destinations == ((1, 1), (2, 2))
+
+    def test_stats_publish_to_registry(self):
+        injector = FaultInjector(FaultPlan(banks=(BankFault((1, 1)),)))
+        registry = MetricsRegistry()
+        injector.stats.publish_metrics(registry)
+        snapshot = registry.snapshot()
+        assert snapshot["faults.injected"]["value"] == 1
+        assert snapshot["faults.rejected_packets"]["value"] == 0

@@ -153,3 +153,55 @@ class TestExtensionCommands:
         text = target.read_text()
         assert "Figure 9" in text and "Table 4" in text
         assert "Headline" in text
+
+
+class TestSeedHygiene:
+    SIM_COMMANDS = (
+        ["run"],
+        ["figure", "9"],
+        ["table", "3"],
+        ["headline"],
+        ["layout"],
+        ["energy"],
+        ["report"],
+        ["cmp"],
+        ["snuca"],
+        ["faults"],
+        ["validate"],
+        ["trace", "--output", "x.trace"],
+    )
+
+    def test_every_sim_subcommand_accepts_seed(self):
+        parser = build_parser()
+        for argv in self.SIM_COMMANDS:
+            args = parser.parse_args(argv + ["--seed", "42"])
+            assert args.seed == 42, argv
+
+    def test_seed_changes_the_workload(self, capsys):
+        outputs = []
+        for seed in ("1", "2"):
+            main(["run", "--benchmark", "art", "--design", "A",
+                  "--measure", "200", "--seed", seed, "--no-cache"])
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] != outputs[1]
+
+
+class TestFaultsCommand:
+    def test_campaign_smoke(self, capsys):
+        assert main(["faults", "--rate", "1e-3", "--accesses", "200",
+                     "--seed", "7", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault sweep" in out
+        assert "avail" in out and "lat degr" in out
+        assert " 0 " in out or "0\n" in out  # the forced zero-rate baseline
+
+    def test_fault_seed_defaults_to_seed(self, capsys):
+        main(["faults", "--rate", "1e-3", "--accesses", "200",
+              "--designs", "A", "--seed", "9", "--no-cache"])
+        assert "fault seed 9" in capsys.readouterr().out
+
+    def test_explicit_fault_seed_wins(self, capsys):
+        main(["faults", "--rate", "1e-3", "--accesses", "200",
+              "--designs", "A", "--seed", "9", "--fault-seed", "3",
+              "--no-cache"])
+        assert "fault seed 3" in capsys.readouterr().out
