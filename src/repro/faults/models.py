@@ -26,7 +26,7 @@ pattern as ``repro.validation.invariants`` checkers.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
 from repro.errors import ConfigurationError
 from repro.noc.router import INJECT

@@ -9,6 +9,7 @@ event payloads before checking ``sink.enabled``, or a hot-path metric that
 turns O(1) bookkeeping into something visibly slower.
 """
 
+import itertools
 import timeit
 
 from repro.sim.resource import Resource
@@ -80,9 +81,10 @@ class TestNullSinkFastPath:
             )
             system.run(trace, profile, warmup=warmup)
 
-        def traced_once(index=[0]):
-            index[0] += 1
-            sink = open_sink(tmp_path / f"t{index[0]}.jsonl", "jsonl")
+        trace_ids = itertools.count(1)
+
+        def traced_once():
+            sink = open_sink(tmp_path / f"t{next(trace_ids)}.jsonl", "jsonl")
             previous = set_sink(sink)
             try:
                 run_once()
