@@ -1,0 +1,81 @@
+"""``python -m repro.analysis`` -- the standalone analyzer entry point.
+
+Exit status: 0 with no findings (and a passing type gate when
+``--types`` is given), 1 otherwise. ``repro lint`` is the same engine
+behind the package CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis import all_rules, analyze_paths, render_findings
+from repro.analysis.typegate import check_typegate
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Determinism and process-safety static analysis for the repro "
+            "tree (see DESIGN.md §12)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered rule and exit",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="finding output format (default: text)",
+    )
+    parser.add_argument(
+        "--types", action="store_true",
+        help="also run the mypy --strict typed-core gate with the "
+             "ratcheted baseline",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="with --types: rewrite mypy-baseline.txt from this run",
+    )
+    return parser
+
+
+def list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.id:24s} [{rule.family}] {rule.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    findings = analyze_paths(args.paths)
+    status = 0
+    if args.format == "json":
+        print(json.dumps([finding.payload() for finding in findings],
+                         indent=2, sort_keys=True))
+    else:
+        print(render_findings(findings))
+    if findings:
+        status = 1
+    if args.types or args.update_baseline:
+        report = check_typegate(update_baseline=args.update_baseline)
+        print(report.render(), file=sys.stderr)
+        if not report.ok:
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,157 @@
+"""Exception-discipline rules: the kernel and routers fail loudly.
+
+A swallowed exception in the event loop or a router pipeline does not
+crash the run -- it silently corrupts it: a flit goes missing, a credit
+leaks, and the failure surfaces thousands of cycles later as a stall the
+validation harness has to bisect. These rules keep the simulation core
+honest: no bare handlers, no silent swallows, no blanket ``Exception``
+catches in hot paths, and raises drawn from the :mod:`repro.errors`
+taxonomy so callers can distinguish protocol violations from kernel
+bugs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    SIM_SCOPE,
+    Finding,
+    ModuleInfo,
+    Rule,
+    in_scope,
+    register,
+)
+
+#: Exception types a raise in the simulation core must not use: the
+#: repro.errors taxonomy exists precisely to replace them. (ValueError /
+#: KeyError / TypeError on argument validation stay idiomatic.)
+_FORBIDDEN_RAISES = frozenset({
+    "Exception", "BaseException", "RuntimeError", "SystemError",
+})
+
+_BROAD_CATCHES = frozenset({"Exception", "BaseException"})
+
+
+def _handler_types(handler: ast.ExceptHandler) -> list[ast.expr]:
+    if handler.type is None:
+        return []
+    if isinstance(handler.type, ast.Tuple):
+        return list(handler.type.elts)
+    return [handler.type]
+
+
+def _is_silent(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing at all."""
+    return all(
+        isinstance(statement, ast.Pass)
+        or (
+            isinstance(statement, ast.Expr)
+            and isinstance(statement.value, ast.Constant)
+        )
+        for statement in handler.body
+    )
+
+
+@register
+class BareExceptRule(Rule):
+    id = "exc-bare"
+    family = "exceptions"
+    summary = "no bare `except:` anywhere (it even swallows SystemExit)"
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    info, node,
+                    "bare `except:` catches everything including "
+                    "SystemExit and KeyboardInterrupt; name the exception "
+                    "types you mean",
+                )
+
+
+@register
+class SilentSwallowRule(Rule):
+    id = "exc-silent"
+    family = "exceptions"
+    summary = (
+        "no silent swallows: empty handler bodies for broad catches "
+        "anywhere, for any catch inside the simulation core"
+    )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        sim = in_scope(info.module, SIM_SCOPE)
+        for node in ast.walk(info.tree):
+            if not (isinstance(node, ast.ExceptHandler) and _is_silent(node)):
+                continue
+            names = [
+                name.id if isinstance(name, ast.Name) else "?"
+                for name in _handler_types(node)
+            ]
+            broad = node.type is None or any(
+                name in _BROAD_CATCHES for name in names
+            )
+            if broad or sim:
+                caught = ", ".join(names) if names else "everything"
+                yield self.finding(
+                    info, node,
+                    f"handler for {caught} swallows the exception without "
+                    "acting on it; a dropped error in simulation code "
+                    "surfaces later as silent corruption -- handle it, "
+                    "count it, or let it propagate",
+                )
+
+
+@register
+class BroadHotPathCatchRule(Rule):
+    id = "exc-broad-hotpath"
+    family = "exceptions"
+    summary = (
+        "no `except Exception` / `except BaseException` inside the "
+        "simulation core; catch repro.errors taxonomy types"
+    )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        if not in_scope(info.module, SIM_SCOPE):
+            return
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            for name in _handler_types(node):
+                if isinstance(name, ast.Name) and name.id in _BROAD_CATCHES:
+                    yield self.finding(
+                        info, node,
+                        f"`except {name.id}` in the simulation core also "
+                        "catches kernel bugs (SimulationError) it should "
+                        "never recover from; catch the specific "
+                        "repro.errors types instead",
+                    )
+
+
+@register
+class TaxonomyRaiseRule(Rule):
+    id = "exc-taxonomy"
+    family = "exceptions"
+    summary = (
+        "raises in the simulation core use the repro.errors taxonomy, "
+        "not Exception/RuntimeError"
+    )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        if not in_scope(info.module, SIM_SCOPE):
+            return
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            target = node.exc
+            if isinstance(target, ast.Call):
+                target = target.func
+            if isinstance(target, ast.Name) and target.id in _FORBIDDEN_RAISES:
+                yield self.finding(
+                    info, node,
+                    f"raise {target.id} in the simulation core; use the "
+                    "repro.errors taxonomy (SimulationError, ProtocolError, "
+                    "RoutingError, ...) so callers can tell protocol "
+                    "violations from kernel bugs",
+                )

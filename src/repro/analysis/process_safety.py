@@ -1,0 +1,297 @@
+"""Process-safety rules: what must hold for ``--jobs N`` fan-out.
+
+The experiment engine promises that serial, pooled, and cache-replayed
+evaluations of the same :class:`~repro.experiments.runner.CellSpec` are
+bit-identical. That only holds if (a) specs are plain picklable values,
+so workers receive exactly what the coordinator keyed the cache on, and
+(b) worker-side code keeps no hidden module state whose content could
+depend on which cells a given process happened to run first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, in_scope, register
+
+#: Leaf annotation names that pickle by value with no surprises.
+_PICKLABLE_LEAVES = frozenset({
+    "int", "float", "str", "bool", "bytes", "complex", "None",
+})
+
+#: Immutable generic containers of picklable leaves.
+_PICKLABLE_CONTAINERS = frozenset({
+    "tuple", "frozenset", "Tuple", "FrozenSet", "Optional", "Union",
+    "Literal", "Final",
+})
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "add", "update", "clear", "remove",
+    "discard", "pop", "popitem", "setdefault", "appendleft", "extendleft",
+})
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else ""
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _annotation_is_picklable(node: ast.AST, info: ModuleInfo) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _PICKLABLE_LEAVES or node.id in _PICKLABLE_CONTAINERS
+    if isinstance(node, ast.Constant):
+        # ``None`` in unions, Ellipsis in ``tuple[int, ...]``, and Literal
+        # members; a string here is a forward reference we cannot check.
+        return not isinstance(node.value, str) or node.value in _PICKLABLE_LEAVES
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _annotation_is_picklable(
+            node.left, info
+        ) and _annotation_is_picklable(node.right, info)
+    if isinstance(node, ast.Subscript):
+        value = node.value
+        base = value.attr if isinstance(value, ast.Attribute) else (
+            value.id if isinstance(value, ast.Name) else ""
+        )
+        if base not in _PICKLABLE_CONTAINERS:
+            return False
+        inner = node.slice
+        elements = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+        return all(_annotation_is_picklable(e, info) for e in elements)
+    if isinstance(node, ast.Attribute):
+        origin = info.qualname(node) or ""
+        return origin.rpartition(".")[2] in _PICKLABLE_CONTAINERS
+    return False
+
+
+@register
+class SpecPicklableRule(Rule):
+    id = "proc-spec-pickle"
+    family = "process-safety"
+    summary = (
+        "fields of experiment *Spec dataclasses must be statically "
+        "picklable immutable values (they cross process boundaries and "
+        "key the persistent cache)"
+    )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        if not in_scope(info.module, ("repro.experiments",)):
+            return
+        for node in ast.walk(info.tree):
+            if not (
+                isinstance(node, ast.ClassDef)
+                and node.name.endswith("Spec")
+                and _is_dataclass(node)
+            ):
+                continue
+            for statement in node.body:
+                if not isinstance(statement, ast.AnnAssign):
+                    continue
+                if _annotation_is_picklable(statement.annotation, info):
+                    continue
+                target = (
+                    statement.target.id
+                    if isinstance(statement.target, ast.Name)
+                    else ast.dump(statement.target)
+                )
+                yield self.finding(
+                    info, statement,
+                    f"{node.name}.{target} is not a statically picklable "
+                    "immutable type; spec fields cross process boundaries "
+                    "and key the result cache, so restrict them to "
+                    "int/float/str/bool/bytes/None and tuple/frozenset "
+                    "compositions thereof",
+                )
+
+
+def _module_level_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+def _local_functions(tree: ast.Module) -> dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _worker_entries(tree: ast.Module) -> set[str]:
+    """Function names handed to a pool (``executor.submit(fn, ...)`` /
+    ``pool.map(fn, ...)``) -- the roots of worker-side execution."""
+    entries: set[str] = set()
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr in ("submit", "map", "imap", "imap_unordered",
+                              "starmap", "apply_async"):
+            if node.args and isinstance(node.args[0], ast.Name):
+                entries.add(node.args[0].id)
+    return entries
+
+
+def _reachable(
+    entries: set[str], functions: dict[str, ast.FunctionDef]
+) -> set[str]:
+    """Transitive closure of local-name references from *entries*."""
+    seen: set[str] = set()
+    frontier = [name for name in sorted(entries) if name in functions]
+    while frontier:
+        name = frontier.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        for node in ast.walk(functions[name]):
+            if isinstance(node, ast.Name) and node.id in functions:
+                frontier.append(node.id)
+    return seen
+
+
+def _base_name(node: ast.AST) -> str | None:
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+@register
+class WorkerGlobalWriteRule(Rule):
+    id = "proc-worker-global-write"
+    family = "process-safety"
+    summary = (
+        "functions reachable from a pool entry point must not write "
+        "module-level or imported-module state (hidden per-process state "
+        "diverges silently under --jobs N)"
+    )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        entries = _worker_entries(info.tree)
+        if not entries:
+            return
+        functions = _local_functions(info.tree)
+        module_names = _module_level_names(info.tree)
+        for name in sorted(_reachable(entries, functions)):
+            yield from self._check_function(
+                info, functions[name], module_names
+            )
+
+    def _check_function(
+        self,
+        info: ModuleInfo,
+        function: ast.FunctionDef,
+        module_names: set[str],
+    ) -> Iterator[Finding]:
+        def is_module_state(target: ast.AST) -> str | None:
+            base = _base_name(target)
+            if base is None:
+                return None
+            if base in module_names:
+                return f"module-level {base!r}"
+            if isinstance(target, (ast.Attribute, ast.Subscript)) and (
+                base in info.imports
+            ):
+                return f"imported {info.imports[base]!r}"
+            return None
+
+        for node in ast.walk(function):
+            if isinstance(node, ast.Global):
+                yield self.finding(
+                    info, node,
+                    f"worker-reachable {function.name}() declares "
+                    f"global {', '.join(node.names)}; worker processes "
+                    "must not rebind module state",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        continue  # local rebinding is fine
+                    what = is_module_state(target)
+                    if what is not None:
+                        yield self.finding(
+                            info, target,
+                            f"worker-reachable {function.name}() writes "
+                            f"{what}; per-process state diverges silently "
+                            "under --jobs N fan-out",
+                        )
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    what = is_module_state(target)
+                    if what is not None and not isinstance(target, ast.Name):
+                        yield self.finding(
+                            info, target,
+                            f"worker-reachable {function.name}() deletes "
+                            f"from {what}; per-process state diverges "
+                            "silently under --jobs N fan-out",
+                        )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATORS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in module_names
+            ):
+                yield self.finding(
+                    info, node,
+                    f"worker-reachable {function.name}() mutates "
+                    f"module-level {node.func.value.id!r} via "
+                    f".{node.func.attr}(); per-process state diverges "
+                    "silently under --jobs N fan-out",
+                )
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "proc-mutable-default"
+    family = "process-safety"
+    summary = (
+        "no mutable default arguments (the shared default object leaks "
+        "state across calls and across pickled closures)"
+    )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            arguments = node.args
+            for default in [*arguments.defaults, *arguments.kw_defaults]:
+                if default is None:
+                    continue
+                if self._is_mutable(default, info):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        info, default,
+                        f"{name}() has a mutable default argument; default "
+                        "to None (or a tuple/frozenset) and build the "
+                        "mutable value inside the call",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST, info: ModuleInfo) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.SetComp, ast.DictComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return (
+                node.func.id in ("list", "dict", "set", "bytearray")
+                and node.func.id not in info.imports
+            )
+        return False

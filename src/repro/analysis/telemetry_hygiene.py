@@ -1,0 +1,133 @@
+"""Telemetry-hygiene rules: one registry, sink-mediated traces, sim time.
+
+The observability layer's determinism contract (DESIGN.md §9) -- merged
+metrics identical across serial / ``--jobs N`` / cache replay, trace
+files byte-identical across runs -- rests on three source disciplines:
+metric objects are minted only through a :class:`MetricsRegistry` (so
+names collide loudly and snapshots merge), trace sinks are constructed
+only by the telemetry layer itself (so the ``NullSink`` fast path and
+``set_sink`` scoping cannot be bypassed), and nothing
+host- or wall-clock-derived ever enters a sink payload.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, in_scope, register
+from repro.analysis.determinism import _MONOTONIC, _WALLCLOCK
+
+#: Raw metric classes: only the registry may instantiate them outside
+#: the telemetry package (both import paths resolve here).
+_METRIC_CLASSES = frozenset({
+    f"repro.telemetry{infix}.{name}"
+    for infix in ("", ".registry")
+    for name in ("Counter", "Gauge", "Histogram")
+})
+
+#: Concrete sink classes: constructed by repro.telemetry.open_sink only.
+_SINK_CLASSES = frozenset({
+    f"repro.telemetry{infix}.{name}"
+    for infix in ("", ".trace")
+    for name in ("JsonlTraceSink", "ChromeTraceSink")
+})
+
+#: Host-identity and entropy sources: banned from the telemetry layer
+#: outright -- payloads must be pure functions of the simulated run.
+_HOST_IDENTITY = frozenset({
+    "os.getpid", "os.getppid", "os.urandom", "os.uname",
+    "socket.gethostname", "socket.getfqdn",
+    "platform.node", "platform.uname",
+    "uuid.uuid1", "uuid.uuid4",
+    "secrets.token_hex", "secrets.token_bytes", "secrets.token_urlsafe",
+})
+
+
+@register
+class RegistryOnlyRule(Rule):
+    id = "tel-registry-only"
+    family = "telemetry"
+    summary = (
+        "metric objects (Counter/Gauge/Histogram) are minted only "
+        "through a MetricsRegistry outside repro.telemetry"
+    )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        # Layering rule: applies inside the repro package (white-box tests
+        # of the telemetry layer itself construct these classes freely).
+        if info.module is None or in_scope(info.module, ("repro.telemetry",)):
+            return
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = info.qualname(node.func)
+            if origin in _METRIC_CLASSES:
+                kind = origin.rpartition(".")[2].lower()
+                yield self.finding(
+                    info, node,
+                    f"direct {origin.rpartition('.')[2]}() construction "
+                    "bypasses the registry; use "
+                    f"registry.{kind}(name) so names collide loudly and "
+                    "snapshots merge across processes",
+                )
+
+
+@register
+class SinkOnlyRule(Rule):
+    id = "tel-sink-only"
+    family = "telemetry"
+    summary = (
+        "trace sinks are constructed only by repro.telemetry.open_sink "
+        "(instrumentation gets the active sink via current_sink)"
+    )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        if info.module is None or in_scope(
+            info.module, ("repro.telemetry", "repro.cli")
+        ):
+            return
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = info.qualname(node.func)
+            if origin in _SINK_CLASSES:
+                yield self.finding(
+                    info, node,
+                    f"direct {origin.rpartition('.')[2]}() construction "
+                    "bypasses open_sink()/set_sink() scoping; "
+                    "instrumentation must emit through "
+                    "telemetry.current_sink() only",
+                )
+
+
+@register
+class SinkPayloadWallClockRule(Rule):
+    id = "tel-wallclock-payload"
+    family = "telemetry"
+    summary = (
+        "nothing wall-clock-, host-, or entropy-derived inside "
+        "repro.telemetry: every stamp is sim time, every payload a pure "
+        "function of the run"
+    )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        if not in_scope(info.module, ("repro.telemetry",)):
+            return
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = info.qualname(node.func)
+            if origin in _WALLCLOCK or origin in _MONOTONIC:
+                yield self.finding(
+                    info, node,
+                    f"{origin}() in the telemetry layer; trace stamps and "
+                    "metric payloads carry sim time (cycles) only",
+                )
+            elif origin in _HOST_IDENTITY:
+                yield self.finding(
+                    info, node,
+                    f"{origin}() leaks host identity or entropy into "
+                    "telemetry; payloads must be pure functions of the "
+                    "run (see provenance's deliberate exclusions)",
+                )

@@ -1,0 +1,199 @@
+"""Strict-typing gate: ``mypy --strict`` on a typed core, ratcheted.
+
+The typed core -- the modules whose interfaces everything else builds on
+-- must be clean under ``mypy --strict`` with no exemptions. Every other
+module may appear in an explicit baseline file (``mypy-baseline.txt`` at
+the repo root): a sorted list of dotted modules still carrying strict
+errors. The gate fails when a module *outside* the baseline has errors
+(the untyped set can never grow) and warns on baseline entries that have
+become clean (remove them -- the ratchet only turns one way;
+``--update-baseline`` rewrites the file from a fresh run).
+
+When mypy is not installed the gate reports itself skipped and passes:
+the container image does not ship mypy, CI installs it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import re
+import subprocess
+import sys
+from dataclasses import dataclass, field
+
+from repro.analysis.core import AnalysisError, module_name_for
+
+#: Module prefixes that must be strict-clean with no baseline exemption.
+TYPED_CORE: tuple[str, ...] = (
+    "repro.analysis",
+    "repro.errors",
+    "repro.sim",
+    "repro.telemetry",
+    "repro.experiments.runner",
+)
+
+#: Default baseline location, relative to the repository root.
+BASELINE_NAME = "mypy-baseline.txt"
+
+_ERROR_LINE = re.compile(r"^(?P<path>[^:\n]+\.py):\d+(?::\d+)?: error:")
+
+
+def in_typed_core(module: str) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in TYPED_CORE
+    )
+
+
+def mypy_available() -> bool:
+    return importlib.util.find_spec("mypy") is not None
+
+
+def load_baseline(path: str | pathlib.Path) -> list[str]:
+    """Read the baseline file; raises :class:`AnalysisError` on damage.
+
+    The file must be sorted, duplicate-free, and must not exempt any
+    typed-core module -- the three properties the ratchet stands on.
+    """
+    file_path = pathlib.Path(path)
+    if not file_path.exists():
+        return []
+    entries = [
+        line.strip()
+        for line in file_path.read_text(encoding="utf-8").splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    ]
+    problems = baseline_problems(entries)
+    if problems:
+        raise AnalysisError(
+            f"{file_path}: " + "; ".join(problems)
+        )
+    return entries
+
+
+def baseline_problems(entries: list[str]) -> list[str]:
+    """Structural violations in a baseline entry list (empty = sound)."""
+    problems: list[str] = []
+    if entries != sorted(entries):
+        problems.append("entries must be sorted")
+    if len(entries) != len(set(entries)):
+        problems.append("entries must be unique")
+    core = [entry for entry in entries if in_typed_core(entry)]
+    if core:
+        problems.append(
+            "typed-core modules cannot be baselined: " + ", ".join(core)
+        )
+    bad = [entry for entry in entries if not entry.startswith("repro")]
+    if bad:
+        problems.append("not repro modules: " + ", ".join(bad))
+    return problems
+
+
+def parse_mypy_errors(output: str) -> dict[str, int]:
+    """Map dotted module -> strict-error count from mypy's stdout."""
+    counts: dict[str, int] = {}
+    for line in output.splitlines():
+        match = _ERROR_LINE.match(line)
+        if match is None:
+            continue
+        module = module_name_for(pathlib.Path(match.group("path")))
+        if module is None:
+            continue
+        counts[module] = counts.get(module, 0) + 1
+    return counts
+
+
+@dataclass
+class TypeGateReport:
+    """Outcome of one strict-typing gate evaluation."""
+
+    ran: bool
+    #: module -> error count for modules neither clean nor baselined.
+    offenders: dict[str, int] = field(default_factory=dict)
+    #: baseline entries that are now clean (ratchet: remove them).
+    stale: list[str] = field(default_factory=list)
+    #: total strict errors inside baselined modules (informational).
+    baselined_errors: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.offenders
+
+    def render(self) -> str:
+        if not self.ran:
+            return "type gate: skipped (mypy not installed; CI runs it)"
+        lines = []
+        for module in sorted(self.offenders):
+            count = self.offenders[module]
+            core = " (typed core)" if in_typed_core(module) else ""
+            lines.append(
+                f"type gate: {module}{core}: {count} strict error(s) and "
+                "not baselined -- fix them (the baseline only shrinks)"
+            )
+        for module in self.stale:
+            lines.append(
+                f"type gate: {module} is strict-clean but still baselined; "
+                f"remove it from {BASELINE_NAME} (or run --update-baseline)"
+            )
+        verdict = "ok" if self.ok else "FAILED"
+        lines.append(
+            f"type gate: {verdict} ({len(self.offenders)} offending "
+            f"module(s), {len(self.stale)} stale baseline entr(ies), "
+            f"{self.baselined_errors} baselined error(s))"
+        )
+        return "\n".join(lines)
+
+
+def evaluate(error_counts: dict[str, int], baseline: list[str]) -> TypeGateReport:
+    """Judge a mypy run's per-module error counts against the baseline."""
+    allowed = set(baseline)
+    report = TypeGateReport(ran=True)
+    for module, count in sorted(error_counts.items()):
+        if module in allowed:
+            report.baselined_errors += count
+        else:
+            report.offenders[module] = count
+    report.stale = sorted(allowed - set(error_counts))
+    return report
+
+
+def run_mypy(root: str | pathlib.Path) -> str:
+    """Run ``mypy --strict`` over ``src/repro``; returns its stdout."""
+    completed = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict", "--no-error-summary",
+         "src/repro"],
+        cwd=str(root),
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return completed.stdout
+
+
+def check_typegate(
+    root: str | pathlib.Path = ".",
+    baseline_path: str | pathlib.Path | None = None,
+    update_baseline: bool = False,
+) -> TypeGateReport:
+    """Run the full gate: mypy (when present), baseline, ratchet."""
+    root = pathlib.Path(root)
+    if baseline_path is None:
+        baseline_path = root / BASELINE_NAME
+    baseline = load_baseline(baseline_path)
+    if not mypy_available():
+        return TypeGateReport(ran=False)
+    error_counts = parse_mypy_errors(run_mypy(root))
+    if update_baseline:
+        entries = sorted(
+            module for module in error_counts if not in_typed_core(module)
+        )
+        pathlib.Path(baseline_path).write_text(
+            "# Modules still exempt from `mypy --strict` (ratcheted: this\n"
+            "# list may only shrink; regenerate with\n"
+            "# `repro lint --types --update-baseline`).\n"
+            + "".join(entry + "\n" for entry in entries),
+            encoding="utf-8",
+        )
+        baseline = entries
+    return evaluate(error_counts, baseline)

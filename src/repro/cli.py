@@ -14,6 +14,7 @@ snuca     S-NUCA vs D-NUCA baseline comparison
 faults    seeded fault-injection campaign (resilience curves)
 trace     generate a synthetic trace file
 validate  invariant checkers + differential oracle (+ --fuzz N)
+lint      determinism & process-safety static analysis (+ --types gate)
 """
 
 from __future__ import annotations
@@ -230,6 +231,26 @@ def cmd_faults(args: argparse.Namespace) -> str:
     return fault_sweep.render(fault_sweep.run(config))
 
 
+def cmd_lint(args: argparse.Namespace) -> str:
+    from repro.analysis import analyze_paths, render_findings
+    from repro.analysis.__main__ import list_rules
+    from repro.analysis.typegate import check_typegate
+
+    if args.list_rules:
+        return list_rules()
+    findings = analyze_paths(args.paths)
+    failed = bool(findings)
+    lines = [render_findings(findings)]
+    if args.types or args.update_baseline:
+        report = check_typegate(update_baseline=args.update_baseline)
+        lines.append(report.render())
+        failed = failed or not report.ok
+    text = "\n".join(lines)
+    if failed:
+        raise SystemExit(text)
+    return text
+
+
 def cmd_headline(args: argparse.Namespace) -> str:
     return headline.render(headline.run(_config(args)))
 
@@ -415,12 +436,40 @@ def build_parser() -> argparse.ArgumentParser:
     common(trace)
     trace.set_defaults(handler=cmd_trace)
 
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & process-safety static analysis",
+        description=(
+            "Run the custom AST rule suite (determinism, process safety, "
+            "telemetry hygiene, exception discipline; see DESIGN.md §12) "
+            "over the tree. Findings are suppressed per line with "
+            "`# repro: allow[rule-id] -- justification`; the justification "
+            "is mandatory. With --types, also run the mypy --strict "
+            "typed-core gate against the ratcheted mypy-baseline.txt."
+        ),
+    )
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories to analyze "
+                           "(default: src/repro)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print every registered rule and exit")
+    lint.add_argument("--types", action="store_true",
+                      help="also run the mypy --strict typed-core gate "
+                           "(skipped with a notice when mypy is absent)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite mypy-baseline.txt from a fresh mypy run")
+    lint.set_defaults(handler=cmd_lint)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if not hasattr(args, "jobs"):
+        # Tooling subcommands (lint) take no engine/telemetry options.
+        print(args.handler(args))
+        return 0
     from repro import telemetry
     from repro.experiments import runner
 

@@ -8,7 +8,6 @@
 from __future__ import annotations
 
 import pathlib
-import time
 
 from repro.experiments import (
     fig2_hops,
@@ -87,7 +86,6 @@ def generate(config: ExperimentConfig | None = None,
         f"scale: {config.measure} measured accesses per cell, "
         f"seed {config.seed}",
     ]
-    started = time.time()
     # Evaluate the full simulation grid in one engine batch up front:
     # with --jobs > 1 the pool spans artifact boundaries, and the
     # per-artifact runners below then hit the engine memo.
@@ -100,7 +98,9 @@ def generate(config: ExperimentConfig | None = None,
         results = runner(config)
         banner = "#" * (len(title) + 4)
         sections.append(f"{banner}\n# {title} #\n{banner}\n\n{renderer(results)}")
-    sections.append(f"(generated in {time.time() - started:.0f} s)")
+    # No generation timestamp or duration: the report is an artifact of
+    # (code, spec) and identical runs must produce byte-identical files
+    # (wall cost is on stderr via the engine's batch summary instead).
     return "\n\n\n".join(sections)
 
 

@@ -30,11 +30,15 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, fields
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
 from repro import telemetry
 from repro.core.system import NetworkedCacheSystem, RunResult
 from repro.experiments.cache import ResultCache
+
+if TYPE_CHECKING:
+    from repro.experiments.common import ExperimentConfig
+    from repro.workloads.trace import Trace
 
 #: Default worker-trace cache bound (traces are the expensive shared input).
 _TRACE_CACHE_MAX = 64
@@ -86,7 +90,7 @@ class CellSpec:
             or self.transient_fault_rate > 0.0
         )
 
-    def key(self) -> tuple:
+    def key(self) -> tuple[object, ...]:
         """Stable cache key: field names and values in declaration order."""
         return ("cell",) + tuple(
             (f.name, getattr(self, f.name)) for f in fields(self)
@@ -97,8 +101,8 @@ def spec_for(
     design: str,
     scheme: str,
     benchmark: str,
-    config,
-    **overrides,
+    config: ExperimentConfig,
+    **overrides: Any,
 ) -> CellSpec:
     """Build a :class:`CellSpec` from an
     :class:`~repro.experiments.common.ExperimentConfig`, normalizing the
@@ -118,15 +122,17 @@ def spec_for(
 
 # -- cell execution (must stay top-level: workers pickle by reference) -------
 
-_worker_traces: dict[tuple, tuple] = {}
+_TraceKey = tuple[str, int, int, float, int | None]
+
+_worker_traces: dict[_TraceKey, tuple[Trace, int]] = {}
 
 
-def _trace_with_warmup(spec: CellSpec):
+def _trace_with_warmup(spec: CellSpec) -> tuple[Trace, int]:
     """Deterministic (trace, warmup) for a spec, memoized per process."""
     from repro.workloads.generator import TraceGenerator
     from repro.workloads.profiles import profile_by_name
 
-    key = (
+    key: _TraceKey = (
         spec.benchmark,
         spec.measure,
         spec.seed,
@@ -136,18 +142,20 @@ def _trace_with_warmup(spec: CellSpec):
     cached = _worker_traces.get(key)
     if cached is None:
         profile = profile_by_name(spec.benchmark)
-        kwargs = {} if spec.index_space is None else {"index_space": spec.index_space}
+        kwargs: dict[str, int] = (
+            {} if spec.index_space is None else {"index_space": spec.index_space}
+        )
         generator = TraceGenerator(profile, seed=spec.seed, **kwargs)
         cached = generator.generate_with_warmup(
             measure=spec.measure, mix_factor=spec.warmup_mix_factor
         )
         if len(_worker_traces) >= _TRACE_CACHE_MAX:
-            _worker_traces.clear()
-        _worker_traces[key] = cached
+            _worker_traces.clear()  # repro: allow[proc-worker-global-write] -- bounded memo of pure-function-of-key traces; evicting never changes any value
+        _worker_traces[key] = cached  # repro: allow[proc-worker-global-write] -- memo write: the value is a pure function of the key, so per-process copies cannot diverge
     return cached
 
 
-def trace_with_warmup(spec: CellSpec):
+def trace_with_warmup(spec: CellSpec) -> tuple[Trace, int]:
     """Public accessor for a spec's deterministic ``(trace, warmup)``.
 
     The differential oracle replays exactly the trace a cell ran, so it
@@ -157,7 +165,7 @@ def trace_with_warmup(spec: CellSpec):
 
 
 @contextlib.contextmanager
-def _model_overrides(spec: CellSpec):
+def _model_overrides(spec: CellSpec) -> Iterator[None]:
     """Apply the spec's global model overrides, restoring them on exit."""
     from repro import config as repro_config
 
@@ -171,13 +179,13 @@ def _model_overrides(spec: CellSpec):
     }
     try:
         if spec.memory_base_latency is not None:
-            repro_config.MEMORY_BASE_LATENCY = spec.memory_base_latency
+            repro_config.MEMORY_BASE_LATENCY = spec.memory_base_latency  # repro: allow[proc-worker-global-write] -- spec-derived override, restored in the finally below; cells run strictly serially within a worker process
         if spec.wire_delay_scale is not None:
             for capacity, entry in repro_config._BANK_TIMING.items():
                 entry["wire"] = original_wires[capacity] * spec.wire_delay_scale
         yield
     finally:
-        repro_config.MEMORY_BASE_LATENCY = original_memory
+        repro_config.MEMORY_BASE_LATENCY = original_memory  # repro: allow[proc-worker-global-write] -- restores the saved pristine value on every exit path
         for capacity, entry in repro_config._BANK_TIMING.items():
             entry["wire"] = original_wires[capacity]
 
@@ -348,7 +356,7 @@ class CellReport:
     #: replayed results carry the time their producer spent).
     wall_s: float | None
 
-    def payload(self) -> dict:
+    def payload(self) -> dict[str, object]:
         return {
             "design": self.design,
             "scheme": self.scheme,
@@ -378,7 +386,7 @@ class BatchReport:
     def summary(self) -> str:
         return f"{self.total} cells: {self.cached} cached, {self.computed} computed"
 
-    def payload(self) -> dict:
+    def payload(self) -> dict[str, Any]:
         return {
             "total": self.total,
             "unique": self.unique,
@@ -399,7 +407,7 @@ def last_batch() -> BatchReport | None:
     return _journal[-1] if _journal else None
 
 
-def journal_payload() -> list[dict]:
+def journal_payload() -> list[dict[str, Any]]:
     """The full batch journal as JSON-able dicts."""
     return [report.payload() for report in _journal]
 
@@ -542,8 +550,8 @@ def run_grid(
     designs: Iterable[str],
     schemes: Iterable[str],
     benchmarks: Iterable[str],
-    config,
-    **kwargs,
+    config: ExperimentConfig,
+    **kwargs: Any,
 ) -> dict[tuple[str, str, str], RunResult]:
     """Evaluate the full (design, scheme, benchmark) cross product.
 

@@ -11,9 +11,12 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:
+    from repro.telemetry import MetricsRegistry
 
 
 @dataclass(order=True, slots=True)
@@ -223,7 +226,7 @@ class Simulator:
         """The queue's causality floor (last dispatched event's time)."""
         return self._queue.last_pop_time
 
-    def publish_metrics(self, registry) -> None:
+    def publish_metrics(self, registry: MetricsRegistry) -> None:
         """Export kernel counters into a telemetry registry."""
         registry.gauge("sim.kernel.event_queue_high_water").update_max(
             self._queue.high_water

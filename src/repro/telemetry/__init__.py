@@ -40,7 +40,7 @@ from repro.telemetry.trace import (
 )
 
 
-def merge_run(result) -> None:
+def merge_run(result: object) -> None:
     """Fold one run's metrics snapshot into the process-wide registry.
 
     Safe on results that predate telemetry (no ``metrics`` attribute) and

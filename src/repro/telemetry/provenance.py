@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import dataclasses
 import platform
+from typing import Any
 
 
-def provenance_block(spec=None, **extra) -> dict:
+def provenance_block(spec: Any = None, **extra: object) -> dict[str, Any]:
     """Build the provenance dict for one run (or one batch when no spec).
 
     *spec* is a :class:`~repro.experiments.runner.CellSpec` (or any

@@ -20,7 +20,12 @@ serial and parallel sweeps produce identical merged metrics.
 
 from __future__ import annotations
 
+from typing import Any, Callable, cast
+
 from repro.errors import TelemetryError
+
+#: A serialized metric: the plain JSON-able dict :meth:`snapshot` emits.
+Snapshot = dict[str, Any]
 
 
 class Counter:
@@ -38,10 +43,10 @@ class Counter:
         """Publish an absolute count kept elsewhere (end-of-run exports)."""
         self.value = value
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Snapshot:
         return {"type": "counter", "value": self.value}
 
-    def merge(self, other: dict) -> None:
+    def merge(self, other: Snapshot) -> None:
         self.value += other["value"]
 
     def reset(self) -> None:
@@ -54,19 +59,19 @@ class Gauge:
     __slots__ = ("value",)
 
     def __init__(self) -> None:
-        self.value = 0
+        self.value: float = 0
 
-    def set(self, value) -> None:
+    def set(self, value: float) -> None:
         self.value = value
 
-    def update_max(self, value) -> None:
+    def update_max(self, value: float) -> None:
         if value > self.value:
             self.value = value
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Snapshot:
         return {"type": "gauge", "value": self.value}
 
-    def merge(self, other: dict) -> None:
+    def merge(self, other: Snapshot) -> None:
         if other["value"] > self.value:
             self.value = other["value"]
 
@@ -87,17 +92,17 @@ class Histogram:
 
     __slots__ = ("edges", "counts", "total", "count")
 
-    def __init__(self, edges: tuple) -> None:
+    def __init__(self, edges: tuple[float, ...]) -> None:
         if not edges or list(edges) != sorted(edges) or len(set(edges)) != len(edges):
             raise TelemetryError(
                 f"histogram edges must be strictly increasing, got {edges!r}"
             )
         self.edges = tuple(edges)
         self.counts = [0] * (len(edges) + 1)
-        self.total = 0
+        self.total: float = 0
         self.count = 0
 
-    def record(self, value) -> None:
+    def record(self, value: float) -> None:
         counts = self.counts
         for i, edge in enumerate(self.edges):
             if value <= edge:
@@ -112,7 +117,7 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Snapshot:
         return {
             "type": "histogram",
             "edges": list(self.edges),
@@ -121,7 +126,7 @@ class Histogram:
             "count": self.count,
         }
 
-    def merge(self, other: dict) -> None:
+    def merge(self, other: Snapshot) -> None:
         if tuple(other["edges"]) != self.edges:
             raise TelemetryError(
                 f"cannot merge histograms with different edges: "
@@ -138,13 +143,17 @@ class Histogram:
         self.count = 0
 
 
+#: Any concrete metric a registry can hold.
+Metric = Counter | Gauge | Histogram
+
+
 class MetricsRegistry:
     """A named collection of metrics, hierarchical by dot-separated name."""
 
     __slots__ = ("_metrics",)
 
     def __init__(self) -> None:
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._metrics: dict[str, Metric] = {}
 
     def __len__(self) -> int:
         return len(self._metrics)
@@ -152,7 +161,12 @@ class MetricsRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 
-    def _get(self, name: str, kind: type, factory):
+    def _get(
+        self,
+        name: str,
+        kind: type[Metric],
+        factory: Callable[[], Metric],
+    ) -> Metric:
         metric = self._metrics.get(name)
         if metric is None:
             metric = factory()
@@ -165,13 +179,15 @@ class MetricsRegistry:
         return metric
 
     def counter(self, name: str) -> Counter:
-        return self._get(name, Counter, Counter)
+        return cast(Counter, self._get(name, Counter, Counter))
 
     def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge, Gauge)
+        return cast(Gauge, self._get(name, Gauge, Gauge))
 
-    def histogram(self, name: str, edges: tuple) -> Histogram:
-        histogram = self._get(name, Histogram, lambda: Histogram(edges))
+    def histogram(self, name: str, edges: tuple[float, ...]) -> Histogram:
+        histogram = cast(
+            Histogram, self._get(name, Histogram, lambda: Histogram(edges))
+        )
         if histogram.edges != tuple(edges):
             raise TelemetryError(
                 f"histogram {name!r} already registered with edges "
@@ -181,14 +197,14 @@ class MetricsRegistry:
 
     # -- serialization and merging ---------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Snapshot]:
         """Plain JSON-able dict of every metric, keys sorted."""
         return {
             name: self._metrics[name].snapshot()
             for name in sorted(self._metrics)
         }
 
-    def merge(self, snapshot: dict | None) -> None:
+    def merge(self, snapshot: dict[str, Snapshot] | None) -> None:
         """Fold a :meth:`snapshot` dict into this registry.
 
         Merging is associative and commutative (counters sum, gauges max,

@@ -22,8 +22,13 @@ byte-identical trace files that diff cleanly.
 from __future__ import annotations
 
 import json
+from typing import Any, TextIO
 
 from repro.errors import TelemetryError
+
+#: The JSON-able ``args`` payload attached to an event. Values must be
+#: pure functions of simulation state -- never wall-clock or host identity.
+EventArgs = dict[str, Any]
 
 #: The ``ph`` phase letters used from the Chrome trace_event vocabulary:
 #: ``i`` instant, ``X`` complete (ts + dur), ``C`` counter sample.
@@ -44,14 +49,29 @@ class TraceSink:
         tid: object = 0,
         ph: str = "i",
         dur: int | None = None,
-        args: dict | None = None,
+        args: EventArgs | None = None,
     ) -> None:
         raise NotImplementedError
 
-    def instant(self, name, cat, ts, tid=0, args=None) -> None:
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        ts: int,
+        tid: object = 0,
+        args: EventArgs | None = None,
+    ) -> None:
         self.emit(name, cat, ts, tid=tid, ph="i", args=args)
 
-    def complete(self, name, cat, ts, dur, tid=0, args=None) -> None:
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        ts: int,
+        dur: int,
+        tid: object = 0,
+        args: EventArgs | None = None,
+    ) -> None:
         self.emit(name, cat, ts, tid=tid, ph="X", dur=dur, args=args)
 
     def close(self) -> None:
@@ -63,7 +83,16 @@ class NullSink(TraceSink):
 
     enabled = False
 
-    def emit(self, name, cat, ts, tid=0, ph="i", dur=None, args=None) -> None:
+    def emit(
+        self,
+        name: str,
+        cat: str,
+        ts: int,
+        tid: object = 0,
+        ph: str = "i",
+        dur: int | None = None,
+        args: EventArgs | None = None,
+    ) -> None:
         pass
 
 
@@ -79,13 +108,26 @@ class JsonlTraceSink(TraceSink):
 
     enabled = True
 
-    def __init__(self, path) -> None:
+    def __init__(self, path: str) -> None:
         self.path = path
-        self._handle = open(path, "w", encoding="utf-8")
+        self._handle: TextIO | None = open(path, "w", encoding="utf-8")
         self.events_written = 0
 
-    def emit(self, name, cat, ts, tid=0, ph="i", dur=None, args=None) -> None:
-        record = {"name": name, "cat": cat, "ph": ph, "ts": ts, "tid": str(tid)}
+    def emit(
+        self,
+        name: str,
+        cat: str,
+        ts: int,
+        tid: object = 0,
+        ph: str = "i",
+        dur: int | None = None,
+        args: EventArgs | None = None,
+    ) -> None:
+        if self._handle is None:
+            raise TelemetryError(f"trace sink for {self.path!r} is closed")
+        record: dict[str, Any] = {
+            "name": name, "cat": cat, "ph": ph, "ts": ts, "tid": str(tid)
+        }
         if dur is not None:
             record["dur"] = dur
         if args:
@@ -115,9 +157,9 @@ class ChromeTraceSink(TraceSink):
 
     enabled = True
 
-    def __init__(self, path) -> None:
+    def __init__(self, path: str) -> None:
         self.path = path
-        self._events: list[dict] = []
+        self._events: list[dict[str, Any]] = []
         self._tids: dict[str, int] = {}
         self._closed = False
 
@@ -129,10 +171,19 @@ class ChromeTraceSink(TraceSink):
             self._tids[label] = tid
         return tid
 
-    def emit(self, name, cat, ts, tid=0, ph="i", dur=None, args=None) -> None:
+    def emit(
+        self,
+        name: str,
+        cat: str,
+        ts: int,
+        tid: object = 0,
+        ph: str = "i",
+        dur: int | None = None,
+        args: EventArgs | None = None,
+    ) -> None:
         if ph not in _KNOWN_PHASES:
             raise TelemetryError(f"unknown trace phase {ph!r}")
-        event = {
+        event: dict[str, Any] = {
             "name": name,
             "cat": cat,
             "ph": ph,
@@ -152,7 +203,7 @@ class ChromeTraceSink(TraceSink):
         if self._closed:
             return
         self._closed = True
-        metadata = [
+        metadata: list[dict[str, Any]] = [
             {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
              "args": {"name": "repro-sim"}}
         ]
@@ -176,7 +227,7 @@ class ChromeTraceSink(TraceSink):
 TRACE_FORMATS = ("jsonl", "chrome")
 
 
-def open_sink(path, trace_format: str = "jsonl") -> TraceSink:
+def open_sink(path: str, trace_format: str = "jsonl") -> TraceSink:
     """Create the sink for *path* in the requested format."""
     if trace_format == "jsonl":
         return JsonlTraceSink(path)

@@ -25,6 +25,7 @@ from repro.validation.differential import (
     run_oracle,
 )
 from repro.validation.fuzzer import (
+    AnalysisCase,
     CacheCase,
     FuzzFailure,
     FuzzReport,
@@ -52,6 +53,7 @@ from repro.validation.invariants import (
 )
 
 __all__ = [
+    "AnalysisCase",
     "BlockConservationChecker",
     "CacheCase",
     "ChannelOrderChecker",

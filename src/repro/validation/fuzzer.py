@@ -1,6 +1,6 @@
 """Seeded fuzzer: random geometries, traffic, and traces under checkers.
 
-``fuzz(n, seed)`` samples cases from four families:
+``fuzz(n, seed)`` samples cases from five families:
 
 * **noc** -- a random mesh / simplified-mesh / halo geometry with random
   unicast and multicast packets at random injection cycles, driven to
@@ -16,7 +16,11 @@
   plan (link cuts, VC failures, transient flit loss) installed through
   :func:`repro.faults.install_resilience`, checking that degraded
   routing plus timeout/retransmit drains the run with every tracked
-  message delivered or explicitly abandoned.
+  message delivered or explicitly abandoned;
+* **analysis** -- a randomized rule-violating source snippet (wall-clock
+  read, unseeded RNG, mutable default, bare except, ...) that
+  :func:`repro.analysis.analyze_source` must flag with the expected
+  rule -- the lint engine fuzz-tests itself.
 
 Every case is a plain dataclass whose ``repr`` round-trips, so a failing
 case shrinks (greedy delta-debugging over its packets / accesses /
@@ -99,6 +103,22 @@ class OracleCase:
     measure: int
     seed: int
     sample: int = 2
+
+
+@dataclass(frozen=True)
+class AnalysisCase:
+    """A generated source snippet that must trip one lint rule.
+
+    Fuzzes the static-analysis engine itself: the snippet contains a
+    known violation (wall-clock read, unseeded RNG, mutable default,
+    bare except, ...) with randomized identifiers and literals, and the
+    case fails if :func:`repro.analysis.analyze_source` does not report
+    the expected rule.
+    """
+
+    rule: str
+    module: str
+    source: str
 
 
 @dataclass(frozen=True)
@@ -223,14 +243,90 @@ def _make_faults_case(rng: random.Random) -> FaultsCase:
     )
 
 
+#: Identifier pool for generated analysis snippets.
+_ANALYSIS_NAMES = ("probe", "sweep", "drain", "refill", "collect", "replay")
+
+#: (rule, module template, source template). Literal braces in source
+#: templates are doubled for str.format; ``{n}`` is a random identifier,
+#: ``{v}`` a random small integer.
+_ANALYSIS_TEMPLATES = (
+    ("det-wallclock", "repro.experiments.{n}",
+     "import time\n\n\ndef {n}_stamp():\n    return time.time()\n"),
+    ("det-wallclock", "repro.core.{n}",
+     "from datetime import datetime\n\nSTARTED = datetime.now()\n"),
+    ("det-unseeded-random", "repro.workloads.{n}",
+     "import random\n\n\ndef {n}_pick(items):\n"
+     "    return random.choice(items[:{v}])\n"),
+    ("det-unseeded-random", "repro.experiments.{n}",
+     "import random\n\n_RNG = random.Random()\n"),
+    ("det-id-order", "repro.noc.{n}",
+     "def {n}_order(items):\n    return sorted(items, key=id)\n"),
+    ("det-id-order", "repro.cache.{n}",
+     "def {n}_seen(items):\n    return {{id(x) for x in items}}\n"),
+    ("det-set-iter", "repro.sim.{n}",
+     "def {n}_visit(handler):\n    for node in {{1, 2, {v}}}:\n"
+     "        handler(node)\n"),
+    ("det-set-iter", "repro.noc.{n}",
+     "def {n}_fan(links):\n    return [hop for hop in set(links)]\n"),
+    ("proc-spec-pickle", "repro.experiments.{n}",
+     "from dataclasses import dataclass\n\n\n@dataclass(frozen=True)\n"
+     "class {c}Spec:\n    tag: str\n    table: dict\n"),
+    ("proc-worker-global-write", "repro.experiments.{n}",
+     "from concurrent.futures import ProcessPoolExecutor\n\n_SEEN = {{}}\n"
+     "\n\ndef {n}_work(item):\n    _SEEN[item] = True\n    return item\n"
+     "\n\ndef {n}_run(items):\n    with ProcessPoolExecutor() as pool:\n"
+     "        futures = [pool.submit({n}_work, x) for x in items]\n"
+     "    return [f.result() for f in futures]\n"),
+    ("proc-mutable-default", "repro.experiments.{n}",
+     "def {n}_gather(x, acc=[]):\n    acc.append(x)\n    return acc\n"),
+    ("proc-mutable-default", "repro.workloads.{n}",
+     "def {n}_index(key, table={{}}):\n    return table.setdefault(key, {v})\n"),
+    ("tel-registry-only", "repro.noc.{n}",
+     "from repro.telemetry import Counter\n\n{n}_hits = Counter()\n"),
+    ("tel-sink-only", "repro.experiments.{n}",
+     "from repro.telemetry import JsonlTraceSink\n\n"
+     "sink = JsonlTraceSink('{n}.jsonl')\n"),
+    ("tel-wallclock-payload", "repro.telemetry.{n}",
+     "import time\n\n\ndef {n}_stamp():\n    return time.time()\n"),
+    ("tel-wallclock-payload", "repro.telemetry.{n}",
+     "import os\n\n\ndef {n}_tag():\n    return os.getpid()\n"),
+    ("exc-bare", "repro.experiments.{n}",
+     "def {n}_guard(thunk):\n    try:\n        return thunk()\n"
+     "    except:\n        return None\n"),
+    ("exc-silent", "repro.experiments.{n}",
+     "def {n}_try(thunk):\n    try:\n        thunk()\n"
+     "    except Exception:\n        pass\n"),
+    ("exc-broad-hotpath", "repro.sim.{n}",
+     "def {n}_step(event, log):\n    try:\n        event()\n"
+     "    except Exception as exc:\n        log(exc)\n"),
+    ("exc-taxonomy", "repro.cache.{n}",
+     "def {n}_check(x):\n    if x < 0:\n"
+     "        raise RuntimeError('negative: %d' % x)\n    return x\n"),
+)
+
+
+def _make_analysis_case(rng: random.Random) -> AnalysisCase:
+    rule, module_template, source_template = rng.choice(_ANALYSIS_TEMPLATES)
+    name = rng.choice(_ANALYSIS_NAMES)
+    values = {"n": name, "v": rng.randint(2, 9), "c": name.capitalize()}
+    return AnalysisCase(
+        rule=rule,
+        module=module_template.format(**values),
+        source=source_template.format(**values),
+    )
+
+
 _FAMILY_MAKERS = {
     "noc": _make_noc_case,
     "cache": _make_cache_case,
     "oracle": _make_oracle_case,
     "faults": _make_faults_case,
+    "analysis": _make_analysis_case,
 }
 
-DEFAULT_FAMILIES = ("noc", "cache", "faults", "noc", "cache", "oracle")
+DEFAULT_FAMILIES = (
+    "noc", "cache", "faults", "analysis", "noc", "cache", "oracle"
+)
 
 
 def generate_case(family: str, rng: random.Random):
@@ -316,6 +412,20 @@ def _run_faults_case(case: FaultsCase) -> None:
         )
 
 
+def _run_analysis_case(case: AnalysisCase) -> None:
+    from repro.analysis import analyze_source
+
+    findings = analyze_source(
+        "<fuzz>", case.source, module=case.module
+    )
+    flagged = sorted({finding.rule for finding in findings})
+    if case.rule not in flagged:
+        raise ValidationError(
+            f"analysis rule {case.rule!r} missed a violating snippet "
+            f"(flagged: {flagged or 'nothing'}):\n{case.source}"
+        )
+
+
 def _run_oracle_case(case: OracleCase) -> None:
     from repro.validation.differential import run_oracle
 
@@ -343,6 +453,8 @@ def run_case(case) -> None:
         _run_oracle_case(case)
     elif isinstance(case, FaultsCase):
         _run_faults_case(case)
+    elif isinstance(case, AnalysisCase):
+        _run_analysis_case(case)
     else:
         raise ValidationError(f"not a fuzz case: {case!r}")
 
@@ -437,6 +549,7 @@ _CASE_IMPORTS = {
     CacheCase: "CacheCase",
     OracleCase: "OracleCase",
     FaultsCase: "FaultsCase, PacketSpec",
+    AnalysisCase: "AnalysisCase",
 }
 
 

@@ -1,0 +1,185 @@
+"""Tests for the analysis framework itself: suppressions, driving, CLI.
+
+The load-bearing assertions: a suppression without a justification is
+itself a finding, the repo's own source is clean under every rule, and
+the command-line entry points exit nonzero exactly when findings exist.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    Finding,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    module_name_for,
+    parse_suppressions,
+    render_findings,
+    rule_by_id,
+)
+
+_VIOLATION = "import time\n\nSTARTED = time.time()\n"
+
+
+class TestSuppressionSyntax:
+    def test_justified_suppression_silences_the_rule(self):
+        source = (
+            "import time\n\n"
+            "STARTED = time.time()"
+            "  # repro: allow[det-wallclock] -- vetted: fixture\n"
+        )
+        assert analyze_source("<t>", source, module="repro.experiments.x") == []
+
+    def test_suppression_without_justification_is_a_finding(self):
+        source = (
+            "import time\n\n"
+            "STARTED = time.time()  # repro: allow[det-wallclock]\n"
+        )
+        findings = analyze_source("<t>", source, module="repro.experiments.x")
+        rules = {finding.rule for finding in findings}
+        # The malformed directive is reported AND the original violation
+        # still surfaces: an unjustified allow suppresses nothing.
+        assert "bad-suppression" in rules
+        assert "det-wallclock" in rules
+
+    def test_suppression_of_unknown_rule_is_a_finding(self):
+        source = "x = 1  # repro: allow[not-a-rule] -- because\n"
+        findings = analyze_source("<t>", source, module="repro.experiments.x")
+        assert [finding.rule for finding in findings] == ["bad-suppression"]
+        assert "not-a-rule" in findings[0].message
+
+    def test_unparseable_directive_is_a_finding(self):
+        source = "x = 1  # repro: allow det-wallclock -- because\n"
+        findings = analyze_source("<t>", source, module="repro.experiments.x")
+        assert [finding.rule for finding in findings] == ["bad-suppression"]
+
+    def test_empty_rule_list_is_a_finding(self):
+        source = "x = 1  # repro: allow[] -- because\n"
+        findings = analyze_source("<t>", source, module="repro.experiments.x")
+        assert [finding.rule for finding in findings] == ["bad-suppression"]
+
+    def test_file_wide_suppression_covers_every_occurrence(self):
+        source = (
+            "# repro: allow-file[det-wallclock] -- fixture: whole file vetted\n"
+            "import time\n\n"
+            "A = time.time()\n"
+            "B = time.time()\n"
+        )
+        assert analyze_source("<t>", source, module="repro.experiments.x") == []
+
+    def test_line_suppression_covers_only_its_line(self):
+        source = (
+            "import time\n\n"
+            "A = time.time()  # repro: allow[det-wallclock] -- fixture\n"
+            "B = time.time()\n"
+        )
+        findings = analyze_source("<t>", source, module="repro.experiments.x")
+        assert [finding.line for finding in findings] == [4]
+
+    def test_one_directive_may_name_several_rules(self):
+        suppressions = parse_suppressions(
+            "<t>",
+            "x = 1  # repro: allow[det-wallclock, exc-bare] -- fixture\n",
+        )
+        assert suppressions.problems == []
+        assert suppressions.by_line[1] == {"det-wallclock", "exc-bare"}
+
+
+class TestDriving:
+    def test_syntax_error_yields_parse_error_finding(self):
+        findings = analyze_source("<t>", "def broken(:\n")
+        assert [finding.rule for finding in findings] == ["parse-error"]
+
+    def test_findings_sort_by_location(self):
+        source = (
+            "import time\n\n"
+            "def f(x, acc=[]):\n"
+            "    return time.time()\n"
+        )
+        findings = analyze_source("<t>", source, module="repro.experiments.x")
+        assert [f.rule for f in findings] == [
+            "proc-mutable-default", "det-wallclock",
+        ]
+        assert findings == sorted(findings)
+
+    def test_render_includes_location_and_verdict_line(self):
+        findings = analyze_source(
+            "pkg/mod.py", _VIOLATION, module="repro.experiments.x"
+        )
+        text = render_findings(findings)
+        assert "pkg/mod.py:3:" in text
+        assert "[det-wallclock]" in text
+        assert text.endswith("repro lint: 1 finding")
+        assert render_findings([]).endswith("repro lint: 0 findings")
+
+    def test_module_name_for(self):
+        import pathlib
+
+        cases = {
+            "src/repro/noc/router.py": "repro.noc.router",
+            "src/repro/telemetry/__init__.py": "repro.telemetry",
+            "tests/noc/test_router.py": None,
+        }
+        for path, expected in cases.items():
+            assert module_name_for(pathlib.Path(path)) == expected
+
+    def test_rule_registry_is_complete_and_queryable(self):
+        rules = all_rules()
+        families = {rule.family for rule in rules}
+        assert families == {
+            "determinism", "process-safety", "telemetry", "exceptions",
+        }
+        assert len(rules) == 14
+        assert rule_by_id("det-wallclock").family == "determinism"
+        with pytest.raises(AnalysisError, match="unknown rule"):
+            rule_by_id("no-such-rule")
+
+    def test_finding_payload_round_trips(self):
+        finding = Finding(
+            path="a.py", line=3, col=1, rule="det-wallclock", message="m"
+        )
+        assert finding.payload() == {
+            "path": "a.py", "line": 3, "col": 1,
+            "rule": "det-wallclock", "message": "m",
+        }
+
+
+class TestRepoIsClean:
+    def test_src_repro_has_zero_unsuppressed_findings(self):
+        findings = analyze_paths(["src/repro"])
+        assert findings == [], render_findings(findings)
+
+
+class TestCommandLine:
+    def _run(self, *argv):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *argv],
+            capture_output=True, text=True, env=env, cwd=os.getcwd(),
+        )
+
+    def test_list_rules_exits_zero(self):
+        completed = self._run("--list-rules")
+        assert completed.returncode == 0
+        assert "det-wallclock" in completed.stdout
+
+    def test_violating_file_exits_nonzero(self, tmp_path):
+        bad = tmp_path / "repro" / "experiments" / "demo.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(_VIOLATION, encoding="utf-8")
+        completed = self._run(str(bad))
+        assert completed.returncode == 1
+        assert "[det-wallclock]" in completed.stdout
+
+    def test_clean_file_exits_zero(self, tmp_path):
+        good = tmp_path / "clean.py"
+        good.write_text("x = 1\n", encoding="utf-8")
+        completed = self._run(str(good))
+        assert completed.returncode == 0
+        assert "0 findings" in completed.stdout

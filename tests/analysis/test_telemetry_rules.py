@@ -1,0 +1,52 @@
+"""Fixture-backed tests for the telemetry-hygiene rule family."""
+
+import pytest
+
+from tests.analysis.fixtures import Fixture, fixtures_for, labelled
+from tests.analysis.helpers import assert_fixture_verdict, flagged_rules
+
+_FIXTURES, _IDS = labelled(fixtures_for("telemetry"))
+
+
+@pytest.mark.parametrize("fixture", _FIXTURES, ids=_IDS)
+def test_telemetry_fixture(fixture):
+    assert_fixture_verdict(fixture)
+
+
+def test_family_has_all_three_kinds_per_rule():
+    kinds_by_rule = {}
+    for fixture in _FIXTURES:
+        kinds_by_rule.setdefault(fixture.rule, set()).add(fixture.kind)
+    assert set(kinds_by_rule) == {
+        "tel-registry-only", "tel-sink-only", "tel-wallclock-payload",
+    }
+    for rule, kinds in kinds_by_rule.items():
+        assert kinds == {"positive", "negative", "suppressed"}, rule
+
+
+def test_telemetry_package_may_construct_its_own_classes():
+    rules = flagged_rules(Fixture(
+        rule="tel-registry-only",
+        family="telemetry",
+        kind="negative",
+        module="repro.telemetry.registry",
+        source=(
+            "class Counter:\n    pass\n\n\n"
+            "def counter():\n    return Counter()\n"
+        ),
+    ))
+    assert "tel-registry-only" not in rules
+
+
+def test_whitebox_tests_outside_repro_are_exempt():
+    # Layering rules key off the dotted module: files outside the repro
+    # package (module=None, e.g. the telemetry unit tests) construct
+    # metric and sink classes freely.
+    rules = flagged_rules(Fixture(
+        rule="tel-registry-only",
+        family="telemetry",
+        kind="negative",
+        module=None,
+        source="from repro.telemetry import Counter\n\nhits = Counter()\n",
+    ))
+    assert "tel-registry-only" not in rules
