@@ -26,6 +26,7 @@ import tempfile
 import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 from repro.core.designs import DESIGN_NAMES
 from repro.experiments.cache import ResultCache
@@ -232,6 +233,15 @@ def render(payload: dict) -> str:
             f"(x{telemetry['traced_ratio']:.2f}, "
             f"{telemetry['trace_events']} events)",
         ]
+    array_core = payload.get("array_core")
+    if array_core:
+        lines += [
+            "",
+            "Array (SoA) flit core vs object reference core:",
+            f"  per-cell (protocol-paced) x{array_core['per_cell_speedup']:.1f}, "
+            f"saturated-mesh floor x{array_core['min_speedup']:.1f}, "
+            f"bit-identical: {array_core['bit_identical']}",
+        ]
     return "\n".join(lines)
 
 
@@ -254,13 +264,27 @@ def main(argv: list[str] | None = None) -> int:
         "acquire": bench_acquire(),
         "telemetry": bench_telemetry(args.measure),
     }
+    from repro.noc.arraycore import HAVE_NUMPY
+
+    if HAVE_NUMPY:
+        from bench_arraycore import bench_array_core
+
+        payload["array_core"] = bench_array_core(packets=400)
 
     text = render(payload)
     print(text)
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / "runtime.txt").write_text(text + "\n", encoding="utf-8")
-    (ROOT / "BENCH_runtime.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+
+    # Merge over the existing payload so sections owned by the sibling
+    # benchmarks (e.g. ``faults``) survive a runtime-only refresh.
+    bench_path = ROOT / "BENCH_runtime.json"
+    merged = (
+        json.loads(bench_path.read_text()) if bench_path.exists() else {}
+    )
+    merged.update(payload)
+    bench_path.write_text(
+        json.dumps(merged, indent=2) + "\n", encoding="utf-8"
     )
     return 0
 

@@ -62,7 +62,9 @@ _GLOBAL_RANDOM = frozenset({
     "numpy.random.rand", "numpy.random.randn", "numpy.random.randint",
     "numpy.random.random", "numpy.random.choice", "numpy.random.shuffle",
     "numpy.random.permutation", "numpy.random.uniform", "numpy.random.normal",
-    "numpy.random.seed",
+    "numpy.random.seed", "numpy.random.standard_normal",
+    "numpy.random.exponential", "numpy.random.poisson",
+    "numpy.random.random_sample", "numpy.random.beta", "numpy.random.gamma",
 })
 
 #: RNG constructors that must be given an explicit seed argument.
@@ -244,6 +246,42 @@ class IdOrderRule(Rule):
                 "collecting id() values into a set: iterating or ordering "
                 "it leaks memory-address order into the run",
             )
+
+
+@register
+class UnorderedReduceRule(Rule):
+    id = "det-unordered-reduce"
+    family = "determinism"
+    summary = (
+        "no reductions over set expressions in the simulation core: "
+        "sum()/math.fsum() accumulate in hash order, so float results "
+        "(and any order-sensitive fold) vary with the hash seed"
+    )
+
+    _REDUCERS = ("sum",)
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        if not in_scope(info.module, SIM_SCOPE):
+            return
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            named_reducer = (
+                isinstance(func, ast.Name)
+                and func.id in self._REDUCERS
+                and func.id not in info.imports
+            )
+            fsum = info.qualname(func) == "math.fsum"
+            if not named_reducer and not fsum:
+                continue
+            if _is_set_expression(node.args[0], info):
+                yield self.finding(
+                    info, node,
+                    "reducing a set expression accumulates in hash order; "
+                    "reduce a sorted sequence (or a list/tuple built in a "
+                    "deterministic order) instead",
+                )
 
 
 @register

@@ -28,6 +28,7 @@ from repro.analysis.core import AnalysisError, module_name_for
 TYPED_CORE: tuple[str, ...] = (
     "repro.analysis",
     "repro.errors",
+    "repro.noc.arraycore",
     "repro.sim",
     "repro.telemetry",
     "repro.experiments.runner",

@@ -39,7 +39,11 @@ from repro.experiments.common import BENCHMARK_NAMES, ExperimentConfig
 
 
 def _config(args: argparse.Namespace) -> ExperimentConfig:
-    return ExperimentConfig(measure=args.measure, seed=args.seed)
+    return ExperimentConfig(
+        measure=args.measure,
+        seed=args.seed,
+        core=getattr(args, "core", "object"),
+    )
 
 
 def cmd_run(args: argparse.Namespace) -> str:
@@ -204,6 +208,7 @@ def cmd_validate(args: argparse.Namespace) -> str:
             measure=measure,
             seed=args.seed,
             sample=args.sample,
+            core=getattr(args, "core", "object"),
         )
         if not oracle.ok:
             raise SystemExit(oracle.render())
@@ -227,6 +232,7 @@ def cmd_faults(args: argparse.Namespace) -> str:
         measure=args.accesses,
         seed=args.seed,
         fault_seed=args.fault_seed if args.fault_seed is not None else args.seed,
+        core=getattr(args, "core", "object"),
     )
     return fault_sweep.render(fault_sweep.run(config))
 
@@ -327,6 +333,11 @@ def build_parser() -> argparse.ArgumentParser:
                        default="jsonl",
                        help="trace encoding: jsonl lines or a Chrome "
                             "trace_event file loadable in Perfetto")
+        p.add_argument("--core", choices=("object", "array"),
+                       default="object",
+                       help="flit-simulation core: the reference object "
+                            "model or the NumPy struct-of-arrays core "
+                            "(bit-identical, much faster)")
 
     run = sub.add_parser("run", help="simulate one configuration")
     run.add_argument("--design", choices=DESIGN_NAMES, default="A")

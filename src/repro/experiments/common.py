@@ -25,6 +25,9 @@ class ExperimentConfig:
     seed: int = 1
     benchmarks: tuple = BENCHMARK_NAMES
     warmup_mix_factor: float = 0.5
+    #: Flit-simulation core ("object" | "array"); recorded on every
+    #: CellSpec and honored wherever flit-level simulation runs.
+    core: str = "object"
 
     def scaled(self, measure: int) -> "ExperimentConfig":
         """Same config at a different measurement length."""
@@ -33,6 +36,7 @@ class ExperimentConfig:
             seed=self.seed,
             benchmarks=self.benchmarks,
             warmup_mix_factor=self.warmup_mix_factor,
+            core=self.core,
         )
 
 

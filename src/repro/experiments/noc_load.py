@@ -12,7 +12,7 @@ import random
 from dataclasses import dataclass
 
 from repro.config import RouterConfig
-from repro.noc import MeshTopology, MessageType, Network, Packet
+from repro.noc import MeshTopology, MessageType, Packet, make_network
 
 
 @dataclass(frozen=True)
@@ -31,12 +31,15 @@ def run_load_point(
     drain_cycles: int = 4000,
     seed: int = 1,
     single_cycle: bool = True,
+    core: str | None = None,
 ) -> LoadPoint:
     """Uniform random traffic at *injection_rate* for *cycles* cycles."""
     rng = random.Random(seed)
     topology = MeshTopology(mesh_size, mesh_size)
-    network = Network(
-        topology, router_config=RouterConfig(single_cycle=single_cycle)
+    network = make_network(
+        topology,
+        router_config=RouterConfig(single_cycle=single_cycle),
+        core=core,
     )
     nodes = sorted(topology.nodes)
     offered = 0
@@ -71,9 +74,12 @@ def run(
     mesh_size: int = 8,
     cycles: int = 400,
     seed: int = 1,
+    core: str | None = None,
 ) -> list[LoadPoint]:
     return [
-        run_load_point(rate, mesh_size=mesh_size, cycles=cycles, seed=seed)
+        run_load_point(
+            rate, mesh_size=mesh_size, cycles=cycles, seed=seed, core=core
+        )
         for rate in rates
     ]
 

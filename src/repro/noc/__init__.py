@@ -25,7 +25,14 @@ from repro.noc.topology import (
     SimplifiedMeshTopology,
     Topology,
 )
-from repro.noc.network import Network, NetworkStats
+from repro.noc.arraycore import HAVE_NUMPY, ArrayNetwork, FlitPool
+from repro.noc.network import (
+    CORES,
+    Network,
+    NetworkStats,
+    make_network,
+    normalize_core,
+)
 from repro.noc.router import Router
 
 __all__ = [
@@ -47,4 +54,10 @@ __all__ = [
     "Network",
     "NetworkStats",
     "Router",
+    "ArrayNetwork",
+    "FlitPool",
+    "HAVE_NUMPY",
+    "CORES",
+    "make_network",
+    "normalize_core",
 ]

@@ -1,0 +1,1134 @@
+"""Struct-of-arrays wormhole core: the object model without the objects.
+
+:class:`ArrayNetwork` reimplements :class:`repro.noc.network.Network` /
+:class:`repro.noc.router.Router` with every piece of hot state -- flits,
+VC bookkeeping, FIFO slots, credits -- held in flat preallocated buffers
+indexed by small integers instead of per-flit / per-VC Python objects:
+
+* routers, ports, and destinations become dense integer ids derived from
+  the topology in the *same iteration order* the object core uses, so
+  every arbitration tie-break lands identically;
+* each (router, input port) pair is an *input unit*; VC ``v`` of unit
+  ``u`` is global VC ``u * num_vcs + v`` and owns ``buffer_depth``
+  contiguous slots of one flat ring-buffer array;
+* flits live in a growable struct-of-arrays pool (parallel ``array``
+  columns plus one list column for destination tuples); a "flit" is an
+  integer row index;
+* route lookups go through a lazily filled NumPy next-hop table, one
+  ``int32`` per (router, destination) pair.
+
+The cycle loop only visits routers that actually hold flits, and
+:meth:`ArrayNetwork.run_until_drained` fast-forwards across cycles where
+the fabric is provably idle (nothing buffered, nothing to inject) --
+both are pure reorderings of no-ops, so counters and timings match the
+object core bit for bit. The equivalence contract is enforced by
+``tests/noc/test_arraycore.py``, the differential oracle, and the
+``arraycore`` fuzzer family.
+
+Checkers and fault controllers hook per-object state and are
+intentionally unsupported here; install them on the object core.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from array import array
+from collections import deque
+from typing import Any, Callable
+
+from repro.config import RouterConfig
+from repro.errors import ProtocolError, SimulationError
+from repro.noc.network import Delivery, NetworkStats
+from repro.noc.packet import Packet
+from repro.noc.router import EJECT, INJECT
+from repro.noc.routing import RouteComputer, routing_for
+from repro.noc.topology import NodeId, Topology
+from repro.telemetry import trace as _trace
+
+HAVE_NUMPY = importlib.util.find_spec("numpy") is not None
+
+#: Sentinel in the next-hop table: route not computed yet.
+_UNROUTED = -9
+#: Next-hop values at or below this encode "no channel to that node"
+#: (the object core raises at VC allocation time; so do we).
+_INVALID_BASE = -100
+
+
+class FlitPool:
+    """Growable struct-of-arrays flit storage; a flit is a row index.
+
+    Columns mirror :class:`repro.noc.flit.Flit` minus the identity
+    fields the simulation never branches on (``flit_id`` is repr-only in
+    the object core). ``destinations`` holds tuples of *destination node
+    ids* (ints), empty for body/tail flits. ``group_node`` caches which
+    router the ``groups`` column was computed for (-1 = stale).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise SimulationError("flit pool capacity must be positive")
+        self.capacity = capacity
+        self.size = 0
+        self.packet: array[int] = array("q", bytes(8 * capacity))
+        self.is_head: array[int] = array("b", bytes(capacity))
+        self.is_tail: array[int] = array("b", bytes(capacity))
+        self.index: array[int] = array("i", bytes(4 * capacity))
+        self.injected_at: array[int] = array("q", bytes(8 * capacity))
+        self.hops: array[int] = array("i", bytes(4 * capacity))
+        self.eligible_at: array[int] = array("q", bytes(8 * capacity))
+        self.destinations: list[tuple[int, ...]] = [()] * capacity
+        self.group_node: array[int] = array("i", bytes(4 * capacity))
+        self.groups: list[list[tuple[int, tuple[int, ...]]]] = [[]] * capacity
+
+    def _grow(self) -> None:
+        extra = self.capacity
+        self.packet.extend(bytes(8 * extra))
+        self.is_head.extend(bytes(extra))
+        self.is_tail.extend(bytes(extra))
+        self.index.extend(bytes(4 * extra))
+        self.injected_at.extend(bytes(8 * extra))
+        self.hops.extend(bytes(4 * extra))
+        self.eligible_at.extend(bytes(8 * extra))
+        self.destinations.extend([()] * extra)
+        self.group_node.extend(bytes(4 * extra))
+        self.groups.extend([[]] * extra)
+        self.capacity += extra
+
+    def alloc(
+        self,
+        packet_row: int,
+        head: bool,
+        tail: bool,
+        index: int,
+        destinations: tuple[int, ...],
+        injected_at: int,
+        hops: int,
+        eligible_at: int,
+    ) -> int:
+        """Append one flit row; doubles the buffers when full."""
+        if self.size == self.capacity:
+            self._grow()
+        f = self.size
+        self.size = f + 1
+        self.packet[f] = packet_row
+        self.is_head[f] = 1 if head else 0
+        self.is_tail[f] = 1 if tail else 0
+        self.index[f] = index
+        self.injected_at[f] = injected_at
+        self.hops[f] = hops
+        self.eligible_at[f] = eligible_at
+        self.destinations[f] = destinations
+        self.group_node[f] = -1
+        return f
+
+
+class ArrayNetwork:
+    """Drop-in flit-level network on the struct-of-arrays core.
+
+    Mirrors the :class:`~repro.noc.network.Network` client API (inject,
+    timed injections, step/run/run_until_drained, delivery callbacks,
+    stats, metrics) and is bit-identical to it on every healthy
+    workload. Requires NumPy (``HAVE_NUMPY``); raises
+    :class:`SimulationError` otherwise so callers can fall back to the
+    object core.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: RouteComputer | None = None,
+        router_config: RouterConfig | None = None,
+    ) -> None:
+        if not HAVE_NUMPY:
+            raise SimulationError(
+                "the array core requires numpy; use core='object' instead"
+            )
+        import numpy
+
+        self.topology = topology
+        self.routing = routing or routing_for(topology)
+        self.router_config = router_config or RouterConfig()
+        cfg = self.router_config
+        self._vcs = cfg.num_vcs
+        self._depth = cfg.buffer_depth
+        self._hop_wait = cfg.hop_latency - 1
+        self._single_cycle = cfg.single_cycle
+
+        # Node ids follow the exact iteration order the object core uses
+        # to build its router dict, so arbitration tie-breaks agree.
+        self._nodes: list[NodeId] = list(topology.nodes)
+        self._node_index: dict[NodeId, int] = {
+            node: i for i, node in enumerate(self._nodes)
+        }
+        n = len(self._nodes)
+        self._geometry()
+
+        self.cycle = 0
+        self.stats = NetworkStats()
+        # Router-level counters, summed across the fabric (the object
+        # core only ever exposes them summed or per-run totals).
+        self.flits_forwarded = 0
+        self.flits_ejected = 0
+        self.replications = 0
+        self.replication_blocked_cycles = 0
+        self.switch_conflicts = 0
+        self.vc_alloc_failures = 0
+        self.buffer_bypass_hits = 0
+        self.speculative_switch_wins = 0
+
+        self.pool = FlitPool()
+        #: Packet rows: the real Packet objects (deliveries hand them back).
+        self._packets: list[Packet] = []
+        self._packet_dests: list[tuple[int, ...]] = []
+        self._packet_nflits: list[int] = []
+
+        self._route: Any = numpy.full(n * n, _UNROUTED, dtype=numpy.int32)
+
+        #: cycle -> [(dst_router, in_local, vc, flit)] link arrivals
+        self._arrivals: dict[int, list[tuple[int, int, int, int]]] = {}
+        #: router -> FIFO of packet rows awaiting the inject port; entries
+        #: are created on first use and persist when drained (iteration
+        #: order matches the object core's defaultdict).
+        self._inject_queues: dict[int, deque[int]] = {}
+        #: cycle -> [(packet, node)] future injections
+        self._timed_injections: dict[int, list[tuple[Packet, NodeId | None]]] = {}
+        #: (router, packet_id) -> (remaining flit rows, target global VC)
+        self._inject_progress: dict[tuple[int, int], tuple[deque[int], int]] = {}
+        #: (packet_id, destination id) -> flits still to eject there
+        self._pending_ejects: dict[tuple[int, int], int] = {}
+        self._eject_meta: dict[tuple[int, int], Packet] = {}
+        self._delivered_callbacks: list[Callable[[Delivery], None]] = []
+        self._lost_callbacks: list[Callable[[Packet, tuple, str], None]] = []
+        self._wakeup_sources: list[Callable[[], int | None]] = []
+        #: Routers currently buffering at least one flit.
+        self._active: set[int] = set()
+        self._sink = _trace.current_sink()
+
+    # -- static geometry ----------------------------------------------------
+
+    def _geometry(self) -> None:
+        """Precompute every per-router table the cycle loop indexes."""
+        topology = self.topology
+        vcs = self._vcs
+        depth = self._depth
+        #: per router: predecessor node ids, in object-core input order
+        self._in_nodes: list[list[int]] = []
+        #: per router: successor node ids, in object-core output order
+        self._out_nodes: list[list[int]] = []
+        #: local input index of the INJECT pseudo-port (last input)
+        self._inject_local: list[int] = []
+        #: local output index of the EJECT pseudo-port (last output)
+        self._eject_local: list[int] = []
+        for node in self._nodes:
+            preds = [self._node_index[p] for p in topology.predecessors(node)]
+            succs = [self._node_index[s] for s in topology.successors(node)]
+            self._in_nodes.append(preds)
+            self._out_nodes.append(succs)
+            self._inject_local.append(len(preds))
+            self._eject_local.append(len(succs))
+
+        #: unit id of (router, local input); units are numbered router by
+        #: router, port by port, INJECT last -- matching input dict order.
+        self._unit_base: list[int] = []
+        #: channel id of (router, local output); EJECT has no channel.
+        self._chan_base: list[int] = []
+        units = 0
+        chans = 0
+        for r in range(len(self._nodes)):
+            self._unit_base.append(units)
+            self._chan_base.append(chans)
+            units += len(self._in_nodes[r]) + 1
+            chans += len(self._out_nodes[r])
+        self._num_units = units
+
+        #: local input index of node ``src`` at router ``dst``
+        in_local: list[dict[int, int]] = [
+            {src: i for i, src in enumerate(self._in_nodes[r])}
+            for r in range(len(self._nodes))
+        ]
+        #: local output index of node ``dst`` at router ``src``
+        self._out_local: list[dict[int, int]] = [
+            {dst: o for o, dst in enumerate(self._out_nodes[r])}
+            for r in range(len(self._nodes))
+        ]
+        self._in_local = in_local
+
+        #: per (router, local output): downstream unit id, wire delay,
+        #: and the receiving router/local-input pair
+        self._down_unit: list[list[int]] = []
+        self._wire_delay: list[list[int]] = []
+        for r, node in enumerate(self._nodes):
+            down: list[int] = []
+            wires: list[int] = []
+            for dst in self._out_nodes[r]:
+                down.append(self._unit_base[dst] + in_local[dst][r])
+                channel = topology.channel(node, self._nodes[dst])
+                wires.append(channel.wire_delay)
+            self._down_unit.append(down)
+            self._wire_delay.append(wires)
+
+        #: per (router, local input != inject): channel id at the upstream
+        #: router for credit return / replication credit stealing
+        self._up_chan: list[list[int]] = []
+        for r in range(len(self._nodes)):
+            ups: list[int] = []
+            for src in self._in_nodes[r]:
+                ups.append(self._chan_base[src] + self._out_local[src][r])
+            self._up_chan.append(ups)
+
+        #: arbitration rank of each local input: position in the
+        #: str(port)-sorted order the object core's contender sort uses
+        self._in_sort_rank: list[list[int]] = []
+        #: replication tie-rank: (port == INJECT, str(port)) order
+        self._repl_rank: list[list[int]] = []
+        for r in range(len(self._nodes)):
+            names = [str(self._nodes[p]) for p in self._in_nodes[r]] + [INJECT]
+            order = sorted(range(len(names)), key=lambda i: names[i])
+            rank = [0] * len(names)
+            for position, i in enumerate(order):
+                rank[i] = position
+            self._in_sort_rank.append(rank)
+            inject = self._inject_local[r]
+            order = sorted(
+                range(len(names)), key=lambda i: (i == inject, names[i])
+            )
+            rank = [0] * len(names)
+            for position, i in enumerate(order):
+                rank[i] = position
+            self._repl_rank.append(rank)
+
+        # Flat mutable state: one slot per global VC / credit channel.
+        self._credit: array[int] = array("i", [depth] * (chans * vcs))
+        self._vc_len: array[int] = array("i", bytes(4 * units * vcs))
+        self._vc_head: array[int] = array("i", bytes(4 * units * vcs))
+        self._vc_active: array[int] = array("q", [-1] * (units * vcs))
+        self._vc_out_local: array[int] = array("i", [-1] * (units * vcs))
+        self._vc_out_vc: array[int] = array("i", [-1] * (units * vcs))
+        self._vc_max_occ: array[int] = array("i", bytes(4 * units * vcs))
+        self._slots: array[int] = array("i", bytes(4 * units * vcs * depth))
+        self._rr_in: array[int] = array("i", bytes(4 * units))
+        self._rr_out: array[int] = array("q", bytes(8 * (chans + len(self._nodes))))
+        #: rr slot of (router, local output); EJECT gets the tail slots
+        self._rr_out_base: list[int] = [
+            self._chan_base[r] + r for r in range(len(self._nodes))
+        ]
+        #: flits buffered per router (drives the active-router set)
+        self._router_occ: array[int] = array("i", bytes(4 * len(self._nodes)))
+        #: flits buffered per input unit (skips empty PCs in the sweeps)
+        self._unit_len: array[int] = array("i", bytes(4 * units))
+        #: buffered multicast heads per router (gates replication sweeps)
+        self._router_mc: array[int] = array("i", bytes(4 * len(self._nodes)))
+
+    # -- client API ---------------------------------------------------------
+
+    def set_trace_sink(self, sink: Any) -> None:
+        """Swap the flit-event trace sink (None = the null sink)."""
+        self._sink = sink if sink is not None else _trace.NULL_SINK
+
+    def on_delivery(self, callback: Callable[[Delivery], None]) -> None:
+        """Register ``callback(delivery)`` fired on each packet delivery."""
+        self._delivered_callbacks.append(callback)
+
+    def install_checker(self, checker: Any) -> None:
+        """Invariant checkers hook per-object router state; the SoA core
+        has none. Run checked workloads on the object core instead."""
+        raise SimulationError(
+            "validation checkers are not supported on the array core; "
+            "use core='object' for checked runs"
+        )
+
+    @property
+    def checkers(self) -> tuple:
+        return ()
+
+    def install_fault_controller(self, controller: Any) -> None:
+        """Fault controllers mutate per-object VC state; unsupported here."""
+        raise SimulationError(
+            "fault injection is not supported on the array core; "
+            "use core='object' for fault campaigns"
+        )
+
+    @property
+    def fault_controller(self) -> None:
+        return None
+
+    def on_packet_lost(self, callback: Callable[[Packet, tuple, str], None]) -> None:
+        """Accepted for API parity; the array core never loses packets
+        (no fault controller can be installed)."""
+        self._lost_callbacks.append(callback)
+
+    def register_wakeup_source(self, source: Callable[[], int | None]) -> None:
+        """Register a zero-arg callable returning the next cycle at which
+        new work appears (or ``None``); see :meth:`next_wakeup`."""
+        self._wakeup_sources.append(source)
+
+    def schedule_injection(
+        self, packet: Packet, at_cycle: int, node: NodeId | None = None
+    ) -> None:
+        """Queue *packet* for injection at a future cycle."""
+        if at_cycle < self.cycle:
+            raise SimulationError(
+                f"cannot inject at {at_cycle}; current cycle is {self.cycle}"
+            )
+        self._timed_injections.setdefault(at_cycle, []).append((packet, node))
+
+    def inject(self, packet: Packet, node: NodeId | None = None) -> None:
+        """Queue *packet* for injection at *node* (default: its source)."""
+        target = packet.source if node is None else node
+        r = self._node_index.get(target)
+        if r is None:
+            raise SimulationError(f"injection node {target} not in topology")
+        try:
+            dests = tuple(self._node_index[d] for d in packet.destinations)
+        except KeyError as exc:
+            raise SimulationError(
+                f"destination {exc.args[0]} not in topology"
+            ) from None
+        packet.created_at = self.cycle
+        row = len(self._packets)
+        self._packets.append(packet)
+        self._packet_dests.append(dests)
+        self._packet_nflits.append(int(packet.num_flits))
+        queue = self._inject_queues.get(r)
+        if queue is None:
+            queue = deque()
+            self._inject_queues[r] = queue
+        queue.append(row)
+        self.stats.packets_injected += 1
+        if self._sink.enabled:
+            self._sink.instant(
+                "inject", "noc.flit", self.cycle, tid=target,
+                args={"packet": packet.packet_id,
+                      "destinations": [str(d) for d in packet.destinations]},
+            )
+        nflits = self._packet_nflits[row]
+        pid = int(packet.packet_id)
+        for dest in dests:
+            key = (pid, dest)
+            self._pending_ejects[key] = nflits
+            self._eject_meta[key] = packet
+
+    # -- cycle loop ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the network one clock cycle."""
+        cycle = self.cycle
+        timed = self._timed_injections.pop(cycle, None)
+        if timed is not None:
+            for packet, node in timed:
+                self.inject(packet, node)
+        self._deliver_arrivals(cycle)
+        self._inject_phase(cycle)
+        if self._active:
+            order = sorted(self._active)
+            for r in order:
+                self._replication_phase(r, cycle)
+            for r in order:
+                self._switch_phase(r, cycle)
+        self.cycle = cycle + 1
+        self.stats.cycles = self.cycle
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    def run_until_drained(self, max_cycles: int = 100_000) -> int:
+        """Step until every injected packet has been fully delivered.
+
+        Identical contract to the object core, plus an idle fast-forward:
+        when nothing is buffered or waiting to inject, every cycle until
+        the next arrival / timed injection is a no-op, so the clock jumps
+        straight there (capped so the *max_cycles* timeout still fires at
+        the same cycle it would have).
+        """
+        start = self.cycle
+        while self._pending_ejects or self._queues_nonempty():
+            if self.cycle - start >= max_cycles:
+                raise SimulationError(
+                    f"network did not drain within {max_cycles} cycles; "
+                    f"{len(self._pending_ejects)} deliveries outstanding\n"
+                    + self.drain_diagnostic()
+                )
+            if (
+                not self._active
+                and not self._inject_progress
+                and not any(self._inject_queues.values())
+            ):
+                horizon = start + max_cycles
+                target = horizon
+                if self._arrivals:
+                    target = min(min(self._arrivals), target)
+                if self._timed_injections:
+                    target = min(min(self._timed_injections), target)
+                if target > self.cycle:
+                    self.cycle = target
+                    self.stats.cycles = self.cycle
+                    continue
+            self.step()
+        return self.cycle - start
+
+    # -- inspection ---------------------------------------------------------
+
+    def idle(self) -> bool:
+        """True when no flit is buffered, in flight, or awaiting injection."""
+        return (
+            not self._pending_ejects
+            and not self._queues_nonempty()
+            and not self._arrivals
+        )
+
+    def pending_work(self) -> bool:
+        """True while any injected packet still has flits to deliver."""
+        return bool(self._pending_ejects) or self._queues_nonempty()
+
+    def next_timed_injection(self) -> int | None:
+        """Earliest cycle a scheduled future injection fires (None = none)."""
+        return min(self._timed_injections) if self._timed_injections else None
+
+    def next_wakeup(self) -> int | None:
+        """Earliest cycle at which new work appears in an idle network."""
+        times = [self.next_timed_injection()]
+        times.extend(source() for source in self._wakeup_sources)
+        live = [t for t in times if t is not None]
+        return min(live) if live else None
+
+    def dropped_flits(self) -> int:
+        """Always zero: fault injection cannot run on the array core."""
+        return self.stats.flits_dropped
+
+    def outstanding_deliveries(self) -> list[tuple[int, NodeId, int]]:
+        """Undelivered ``(packet_id, destination, flits_remaining)`` rows."""
+        return sorted(
+            (
+                (pid, self._nodes[dest], n)
+                for (pid, dest), n in self._pending_ejects.items()
+            ),
+            key=str,
+        )
+
+    def in_flight_flits(self) -> int:
+        """Flits currently crossing links (scheduled future arrivals)."""
+        return sum(len(batch) for batch in self._arrivals.values())
+
+    def total_buffered_flits(self) -> int:
+        return sum(self._router_occ)
+
+    def total_replications(self) -> int:
+        return self.replications
+
+    def total_replication_blocked(self) -> int:
+        return self.replication_blocked_cycles
+
+    def drain_diagnostic(self) -> str:
+        """Human-readable snapshot of why the network has not drained."""
+        lines = [f"drain diagnostic at cycle {self.cycle}:"]
+        undelivered = self.outstanding_deliveries()
+        lines.append(f"  undelivered deliveries ({len(undelivered)}):")
+        for pid, dst, remaining in undelivered[:50]:
+            meta = self._eject_meta.get((pid, self._node_index[dst]))
+            kind = meta.message.value if meta is not None else "?"
+            lines.append(
+                f"    packet {pid} ({kind}) -> {dst}: "
+                f"{remaining} flit(s) outstanding"
+            )
+        if len(undelivered) > 50:
+            lines.append(f"    ... and {len(undelivered) - 50} more")
+        holders = sorted((r for r in self._active), key=lambda r: str(self._nodes[r]))
+        lines.append(f"  routers holding traffic ({len(holders)}):")
+        vcs = self._vcs
+        for r in holders:
+            for p in range(self._inject_local[r] + 1):
+                unit = self._unit_base[r] + p
+                port = INJECT if p == self._inject_local[r] else (
+                    self._nodes[self._in_nodes[r][p]]
+                )
+                for vc in range(vcs):
+                    gvc = unit * vcs + vc
+                    if not self._vc_len[gvc] and self._vc_active[gvc] < 0:
+                        continue
+                    if self._vc_len[gvc]:
+                        head = self._slots[gvc * self._depth + self._vc_head[gvc]]
+                        pid = self._packets[self.pool.packet[head]].packet_id
+                        state = f"{self._vc_len[gvc]} flit(s) of packet {pid}"
+                    else:
+                        state = f"reserved for packet {self._vc_active[gvc]}"
+                    lines.append(
+                        f"    router {self._nodes[r]} in_port {port} "
+                        f"vc {vc}: {state}"
+                    )
+        queued = {
+            self._nodes[r]: [self._packets[row].packet_id for row in queue]
+            for r, queue in self._inject_queues.items()
+            if queue
+        }
+        if queued:
+            lines.append(f"  inject queues: {queued}")
+        if self._inject_progress:
+            lines.append(
+                "  partially injected: "
+                + str(
+                    sorted(
+                        (str(self._nodes[r]), pid)
+                        for r, pid in self._inject_progress
+                    )
+                )
+            )
+        in_flight = self.in_flight_flits()
+        if in_flight:
+            lines.append(f"  flits on wires: {in_flight}")
+        if self._timed_injections:
+            lines.append(
+                f"  next timed injection at cycle {self.next_timed_injection()}"
+            )
+        return "\n".join(lines)
+
+    def publish_metrics(self, registry: Any) -> None:
+        """Export the same metric names/values as the object core."""
+        registry.counter("noc.network.cycles").inc(self.stats.cycles)
+        registry.counter("noc.network.packets_injected").inc(
+            self.stats.packets_injected
+        )
+        registry.counter("noc.network.flits_injected").inc(
+            self.stats.flits_injected
+        )
+        registry.counter("noc.network.packets_delivered").inc(
+            self.stats.packets_delivered
+        )
+        registry.gauge("noc.network.max_latency").update_max(
+            self.stats.max_latency
+        )
+        if self.stats.flits_dropped:
+            registry.counter("noc.network.flits_dropped").inc(
+                self.stats.flits_dropped
+            )
+        if self.stats.packets_lost:
+            registry.counter("noc.network.packets_lost").inc(
+                self.stats.packets_lost
+            )
+        prefix = "noc.router"
+        registry.counter(f"{prefix}.flits_forwarded").inc(self.flits_forwarded)
+        registry.counter(f"{prefix}.flits_ejected").inc(self.flits_ejected)
+        registry.counter(f"{prefix}.replications").inc(self.replications)
+        registry.counter(f"{prefix}.multicast_replica_blocked_cycles").inc(
+            self.replication_blocked_cycles
+        )
+        registry.counter(f"{prefix}.switch_conflicts").inc(self.switch_conflicts)
+        registry.counter(f"{prefix}.vc_alloc_failures").inc(
+            self.vc_alloc_failures
+        )
+        registry.counter(f"{prefix}.buffer_bypass_hits").inc(
+            self.buffer_bypass_hits
+        )
+        registry.counter(f"{prefix}.speculative_switch_wins").inc(
+            self.speculative_switch_wins
+        )
+        occupancy = registry.gauge("noc.buffer.max_occupancy")
+        occupancy.update_max(max(self._vc_max_occ, default=0))
+
+    # -- internals ----------------------------------------------------------
+
+    def _queues_nonempty(self) -> bool:
+        return (
+            any(self._inject_queues.values())
+            or bool(self._inject_progress)
+            or bool(self._timed_injections)
+        )
+
+    def _push(self, r: int, gvc: int, flit: int) -> None:
+        """Buffer a flit in a VC; head flits claim the VC."""
+        length = self._vc_len[gvc]
+        if length >= self._depth:
+            raise SimulationError(
+                f"VC overflow at router {self._nodes[r]} gvc {gvc}: "
+                "credit flow control violated"
+            )
+        pid = self._packets[self.pool.packet[flit]].packet_id
+        active = self._vc_active[gvc]
+        if self.pool.is_head[flit]:
+            if active >= 0 and active != pid:
+                raise SimulationError(
+                    f"head flit of packet {pid} entered VC held by "
+                    f"packet {active}"
+                )
+            self._vc_active[gvc] = pid
+        elif active != pid:
+            raise SimulationError(
+                "body flit entered a VC not allocated to its packet"
+            )
+        slot = gvc * self._depth + (self._vc_head[gvc] + length) % self._depth
+        self._slots[slot] = flit
+        self._vc_len[gvc] = length + 1
+        if length + 1 > self._vc_max_occ[gvc]:
+            self._vc_max_occ[gvc] = length + 1
+        self._unit_len[gvc // self._vcs] += 1
+        if self.pool.is_head[flit] and len(self.pool.destinations[flit]) > 1:
+            self._router_mc[r] += 1
+        occ = self._router_occ[r] + 1
+        self._router_occ[r] = occ
+        if occ == 1:
+            self._active.add(r)
+
+    def _pop(self, r: int, p: int, gvc: int) -> int:
+        """Pop a VC's head flit, returning the freed slot's credit."""
+        length = self._vc_len[gvc]
+        if not length:
+            raise SimulationError("pop from empty VC")
+        head = self._vc_head[gvc]
+        flit = self._slots[gvc * self._depth + head]
+        self._vc_head[gvc] = (head + 1) % self._depth
+        self._vc_len[gvc] = length - 1
+        if self.pool.is_tail[flit]:
+            self._vc_active[gvc] = -1
+            self._vc_out_local[gvc] = -1
+            self._vc_out_vc[gvc] = -1
+        self._unit_len[gvc // self._vcs] -= 1
+        if self.pool.is_head[flit] and len(self.pool.destinations[flit]) > 1:
+            self._router_mc[r] -= 1
+        if p != self._inject_local[r]:
+            self._return_credit(self._up_chan[r][p], gvc % self._vcs, r)
+        occ = self._router_occ[r] - 1
+        self._router_occ[r] = occ
+        if not occ:
+            self._active.discard(r)
+        return flit
+
+    def _return_credit(self, chan: int, vc: int, r: int) -> None:
+        key = chan * self._vcs + vc
+        credit = self._credit[key] + 1
+        if credit > self._depth:
+            raise SimulationError(
+                f"credit overflow on channel into {self._nodes[r]}"
+            )
+        self._credit[key] = credit
+
+    def _next_local(self, r: int, dest: int) -> int:
+        """Local output toward *dest* from router *r* (lazy route table)."""
+        key = r * len(self._nodes) + dest
+        cached = int(self._route[key])
+        if cached != _UNROUTED:
+            return cached
+        hop = self.routing.next_hop(
+            self.topology, self._nodes[r], self._nodes[dest]
+        )
+        hop_index = self._node_index.get(hop)
+        local = (
+            self._out_local[r].get(hop_index, _INVALID_BASE - dest)
+            if hop_index is not None
+            else _INVALID_BASE - dest
+        )
+        self._route[key] = local
+        return local
+
+    def _output_groups(self, r: int, flit: int) -> list[tuple[int, tuple[int, ...]]]:
+        """Group a head flit's destinations by required local output.
+
+        Cached per (flit, router); invalidated when the flit moves or its
+        destination set is narrowed by replication.
+        """
+        pool = self.pool
+        if pool.group_node[flit] == r:
+            return pool.groups[flit]
+        eject = self._eject_local[r]
+        grouped: dict[int, list[int]] = {}
+        for dest in pool.destinations[flit]:
+            port = eject if dest == r else self._next_local(r, dest)
+            grouped.setdefault(port, []).append(dest)
+        groups = [(port, tuple(dests)) for port, dests in grouped.items()]
+        pool.groups[flit] = groups
+        pool.group_node[flit] = r
+        return groups
+
+    def _deliver_arrivals(self, cycle: int) -> None:
+        batch = self._arrivals.pop(cycle, None)
+        if batch is None:
+            return
+        pool = self.pool
+        vcs = self._vcs
+        for r, p, vc, flit in batch:
+            pool.eligible_at[flit] = cycle + self._hop_wait
+            self._push(r, (self._unit_base[r] + p) * vcs + vc, flit)
+            if self._sink.enabled:
+                self._sink.instant(
+                    "traverse", "noc.flit", cycle, tid=self._nodes[r],
+                    args={
+                        "packet": self._packets[pool.packet[flit]].packet_id,
+                        "vc": vc,
+                        "from": str(self._nodes[self._in_nodes[r][p]]),
+                        "hops": pool.hops[flit],
+                    },
+                )
+
+    def _inject_phase(self, cycle: int) -> None:
+        """Move at most one flit per router from its inject queue to a VC."""
+        vcs = self._vcs
+        pool = self.pool
+        progress = self._inject_progress
+        for r, queue in self._inject_queues.items():
+            if not queue and not progress:
+                continue
+            progressed = False
+            for key in list(progress):
+                if key[0] != r:
+                    continue
+                flits, gvc = self._inject_progress[key]
+                if self._vc_len[gvc] < self._depth:
+                    flit = flits.popleft()
+                    pool.eligible_at[flit] = cycle + self._hop_wait
+                    self._push(r, gvc, flit)
+                    self.stats.flits_injected += 1
+                    progressed = True
+                if not flits:
+                    del self._inject_progress[key]
+                if progressed:
+                    break
+            if progressed or not queue:
+                continue
+            row = queue[0]
+            unit = self._unit_base[r] + self._inject_local[r]
+            free = -1
+            for vc in range(vcs):
+                gvc = unit * vcs + vc
+                if self._vc_active[gvc] < 0 and not self._vc_len[gvc]:
+                    free = gvc
+                    break
+            if free < 0:
+                continue
+            queue.popleft()
+            packet = self._packets[row]
+            nflits = self._packet_nflits[row]
+            dests = self._packet_dests[row]
+            head = pool.alloc(
+                row, True, nflits == 1, 0, dests, cycle,
+                0, cycle + self._hop_wait,
+            )
+            self._push(r, free, head)
+            self.stats.flits_injected += 1
+            if nflits > 1:
+                rest: deque[int] = deque()
+                for i in range(1, nflits):
+                    rest.append(
+                        pool.alloc(
+                            row, False, i == nflits - 1, i, (), cycle, 0, 0
+                        )
+                    )
+                self._inject_progress[(r, int(packet.packet_id))] = (rest, free)
+
+    # -- multicast replication ---------------------------------------------
+
+    def _replication_phase(self, r: int, cycle: int) -> None:
+        """Split multicast heads that need several output ports."""
+        if not self._router_mc[r]:
+            return
+        vcs = self._vcs
+        depth = self._depth
+        pool = self.pool
+        unit_base = self._unit_base[r]
+        unit_len = self._unit_len
+        base = unit_base * vcs
+        for p in range(self._inject_local[r] + 1):
+            if not unit_len[unit_base + p]:
+                continue
+            for vc in range(vcs):
+                gvc = base + p * vcs + vc
+                if not self._vc_len[gvc]:
+                    continue
+                flit = self._slots[gvc * depth + self._vc_head[gvc]]
+                if len(pool.destinations[flit]) <= 1:
+                    continue
+                if pool.eligible_at[flit] > cycle:
+                    continue
+                if not pool.is_head[flit] or not pool.is_tail[flit]:
+                    raise ProtocolError(
+                        "multicast packets must be single-flit in this domain"
+                    )
+                groups = self._output_groups(r, flit)
+                if len(groups) <= 1:
+                    continue
+                self._split_multicast(r, p, gvc, flit, groups, cycle)
+
+    def _split_multicast(
+        self,
+        r: int,
+        p: int,
+        gvc: int,
+        flit: int,
+        groups: list[tuple[int, tuple[int, ...]]],
+        cycle: int,
+    ) -> None:
+        eject = self._eject_local[r]
+        ordered = sorted(groups, key=lambda kv: kv[0] == eject)
+        keep_dsts = ordered[0][1]
+        borrowed: list[tuple[int, int, tuple[int, ...]]] = []
+        taken: list[int] = []
+        for _, destinations in ordered[1:]:
+            slot = self._find_replication_vc(r, p, taken)
+            if slot is None:
+                self.replication_blocked_cycles += 1
+                return  # block: retry whole split next cycle
+            borrowed.append((slot[0], slot[1], destinations))
+            taken.append(slot[1])
+        pool = self.pool
+        pool.destinations[flit] = keep_dsts
+        pool.group_node[flit] = -1
+        if len(keep_dsts) <= 1:  # the kept group is no longer a multicast
+            self._router_mc[r] -= 1
+        row = pool.packet[flit]
+        for borrow_p, borrow_gvc, destinations in borrowed:
+            replica = pool.alloc(
+                row, True, True, pool.index[flit], destinations,
+                pool.injected_at[flit], pool.hops[flit], cycle + 1,
+            )
+            if borrow_p != self._inject_local[r]:
+                chan = self._up_chan[r][borrow_p]
+                key = chan * self._vcs + borrow_gvc % self._vcs
+                if self._credit[key] <= 0:
+                    raise SimulationError(
+                        "replication chose a VC without upstream credit"
+                    )
+                self._credit[key] = self._credit[key] - 1
+            self._push(r, borrow_gvc, replica)
+            self.replications += 1
+
+    def _find_replication_vc(
+        self, r: int, exclude: int, taken: list[int]
+    ) -> tuple[int, int] | None:
+        """Free VC of a different PC; less-utilized PCs preferred."""
+        vcs = self._vcs
+        base = self._unit_base[r] * vcs
+        inject = self._inject_local[r]
+        repl_rank = self._repl_rank[r]
+
+        def utilization(p: int) -> int:
+            busy = 0
+            for vc in range(vcs):
+                gvc = base + p * vcs + vc
+                if self._vc_active[gvc] >= 0 or self._vc_len[gvc]:
+                    busy += 1
+            return busy
+
+        candidates = sorted(
+            (p for p in range(inject + 1) if p != exclude),
+            key=lambda p: (utilization(p), repl_rank[p]),
+        )
+        for p in candidates:
+            for vc in range(vcs):
+                gvc = base + p * vcs + vc
+                if gvc in taken:
+                    continue
+                if self._vc_active[gvc] >= 0 or self._vc_len[gvc]:
+                    continue
+                if p != inject:
+                    chan = self._up_chan[r][p]
+                    if self._credit[chan * vcs + vc] <= 0:
+                        continue
+                return p, gvc
+        return None
+
+    # -- switch allocation --------------------------------------------------
+
+    def _candidate_for_port(
+        self, r: int, p: int, cycle: int
+    ) -> tuple[int, int, int, int, int] | None:
+        """Pick at most one ready VC of input PC *p* (round-robin).
+
+        Returns ``(in_local, out_local, out_vc, flit, gvc)``; ``out_vc``
+        is -1 for ejection.
+        """
+        vcs = self._vcs
+        unit = self._unit_base[r] + p
+        base = unit * vcs
+        start = self._rr_in[unit]
+        vc_len = self._vc_len
+        vc_ready = self._vc_ready
+        for offset in range(vcs):
+            vc = (start + offset) % vcs
+            if not vc_len[base + vc]:
+                continue
+            forward = vc_ready(r, p, base + vc, cycle)
+            if forward is not None:
+                self._rr_in[unit] = (start + offset + 1) % vcs
+                return forward
+        return None
+
+    def _vc_ready(
+        self, r: int, p: int, gvc: int, cycle: int
+    ) -> tuple[int, int, int, int, int] | None:
+        if not self._vc_len[gvc]:
+            return None
+        pool = self.pool
+        flit = self._slots[gvc * self._depth + self._vc_head[gvc]]
+        if pool.eligible_at[flit] > cycle:
+            return None
+        eject = self._eject_local[r]
+        if pool.is_head[flit]:
+            groups = self._output_groups(r, flit)
+            if len(groups) > 1:
+                return None  # must replicate first
+            out_local = groups[0][0]
+            if out_local == eject:
+                return (p, eject, -1, flit, gvc)
+            if out_local < 0:
+                port = self.routing.next_hop(
+                    self.topology, self._nodes[r],
+                    self._nodes[_INVALID_BASE - out_local],
+                )
+                raise SimulationError(f"no downstream router on port {port}")
+            out_vc = self._allocate_downstream_vc(r, out_local)
+            if out_vc < 0:
+                self.vc_alloc_failures += 1
+                return None
+            return (p, out_local, out_vc, flit, gvc)
+        # Body/tail flit: follows the wormhole's allocated route.
+        out_local = self._vc_out_local[gvc]
+        if out_local == eject:
+            return (p, eject, -1, flit, gvc)
+        out_vc = self._vc_out_vc[gvc]
+        if out_local < 0 or out_vc < 0:
+            return None  # head has not been switched yet
+        chan = self._chan_base[r] + out_local
+        if self._credit[chan * self._vcs + out_vc] <= 0:
+            return None
+        return (p, out_local, out_vc, flit, gvc)
+
+    def _allocate_downstream_vc(self, r: int, out_local: int) -> int:
+        """Find a free downstream VC with credit (VC allocation)."""
+        vcs = self._vcs
+        down_base = self._down_unit[r][out_local] * vcs
+        credit_base = (self._chan_base[r] + out_local) * vcs
+        for vc in range(vcs):
+            gvc = down_base + vc
+            if (
+                self._vc_active[gvc] < 0
+                and not self._vc_len[gvc]
+                and self._credit[credit_base + vc] > 0
+            ):
+                return vc
+        return -1
+
+    def _switch_phase(self, r: int, cycle: int) -> None:
+        """Arbitrate the crossbar; commit winners, then move their flits."""
+        candidates: list[tuple[int, int, int, int, int]] = []
+        unit_base = self._unit_base[r]
+        unit_len = self._unit_len
+        candidate = self._candidate_for_port
+        for p in range(self._inject_local[r] + 1):
+            if not unit_len[unit_base + p]:
+                continue
+            forward = candidate(r, p, cycle)
+            if forward is not None:
+                candidates.append(forward)
+        if not candidates:
+            return
+        winners: list[tuple[int, int, int, int, int]] = []
+        rank = self._in_sort_rank[r]
+        for out_local in range(self._eject_local[r] + 1):
+            contenders = [c for c in candidates if c[1] == out_local]
+            if not contenders:
+                continue
+            if len(contenders) > 1:
+                self.switch_conflicts += len(contenders) - 1
+                contenders.sort(key=lambda c: rank[c[0]])
+            slot = self._rr_out_base[r] + out_local
+            pick = self._rr_out[slot] % len(contenders)
+            self._rr_out[slot] = self._rr_out[slot] + 1
+            winner = contenders[pick]
+            self._commit(r, winner, cycle)
+            winners.append(winner)
+        for winner in winners:
+            self._handle_forward(r, winner, cycle)
+
+    def _commit(
+        self, r: int, forward: tuple[int, int, int, int, int], cycle: int
+    ) -> None:
+        """Perform the switch traversal for a winning flit."""
+        p, out_local, out_vc, flit, gvc = forward
+        pool = self.pool
+        eject = self._eject_local[r]
+        if self._single_cycle and pool.eligible_at[flit] == cycle:
+            if self._vc_len[gvc] == 1:
+                self.buffer_bypass_hits += 1
+            if pool.is_head[flit] and out_local != eject:
+                self.speculative_switch_wins += 1
+        self._pop(r, p, gvc)
+        pool.hops[flit] = pool.hops[flit] + 1
+        if out_local == eject:
+            self.flits_ejected += 1
+            if pool.is_head[flit] and not pool.is_tail[flit]:
+                # Body flits of this wormhole must also eject here.
+                self._vc_out_local[gvc] = eject
+                self._vc_out_vc[gvc] = -1
+            return
+        self.flits_forwarded += 1
+        key = (self._chan_base[r] + out_local) * self._vcs + out_vc
+        if self._credit[key] <= 0:
+            raise SimulationError("switched a flit without credit")
+        self._credit[key] = self._credit[key] - 1
+        if pool.is_head[flit]:
+            # Reserve the downstream VC for this wormhole.
+            down_gvc = self._down_unit[r][out_local] * self._vcs + out_vc
+            if not pool.is_tail[flit]:
+                self._vc_out_local[gvc] = out_local
+                self._vc_out_vc[gvc] = out_vc
+            pid = self._packets[pool.packet[flit]].packet_id
+            active = self._vc_active[down_gvc]
+            if active >= 0 and active != pid:
+                raise SimulationError("downstream VC reserved by another packet")
+            self._vc_active[down_gvc] = pid
+
+    def _handle_forward(
+        self, r: int, forward: tuple[int, int, int, int, int], cycle: int
+    ) -> None:
+        _, out_local, out_vc, flit, _ = forward
+        if out_local == self._eject_local[r]:
+            self._eject(r, flit, cycle)
+            return
+        arrival = cycle + self._wire_delay[r][out_local] + 1
+        dst = self._out_nodes[r][out_local]
+        entry = (dst, self._in_local[dst][r], out_vc, flit)
+        batch = self._arrivals.get(arrival)
+        if batch is None:
+            self._arrivals[arrival] = [entry]
+        else:
+            batch.append(entry)
+
+    def _eject(self, r: int, flit: int, cycle: int) -> None:
+        pool = self.pool
+        ejected_at = cycle + 1  # crossing the ejection channel
+        packet = self._packets[pool.packet[flit]]
+        if self._sink.enabled:
+            self._sink.instant(
+                "eject", "noc.flit", ejected_at, tid=self._nodes[r],
+                args={"packet": packet.packet_id, "hops": pool.hops[flit]},
+            )
+        pid = int(packet.packet_id)
+        for dest in pool.destinations[flit] or (r,):
+            key = (pid, dest)
+            if key not in self._pending_ejects:
+                raise SimulationError(
+                    f"unexpected ejection of packet {pid} at {self._nodes[dest]}"
+                )
+            remaining = self._pending_ejects[key] - 1
+            if remaining:
+                self._pending_ejects[key] = remaining
+                continue
+            del self._pending_ejects[key]
+            meta = self._eject_meta.pop(key)
+            injected = pool.injected_at[flit]
+            delivery = Delivery(
+                packet=meta,
+                destination=self._nodes[dest],
+                injected_at=injected if injected else int(meta.created_at),
+                delivered_at=ejected_at,
+                hops=pool.hops[flit],
+            )
+            self.stats.deliveries.append(delivery)
+            if self._sink.enabled:
+                self._sink.complete(
+                    "packet", "noc.packet", delivery.injected_at,
+                    delivery.latency, tid=self._nodes[dest],
+                    args={"packet": meta.packet_id,
+                          "source": str(meta.source),
+                          "hops": delivery.hops},
+                )
+            for callback in self._delivered_callbacks:
+                callback(delivery)

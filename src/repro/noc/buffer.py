@@ -23,7 +23,7 @@ class VirtualChannel:
     port: object
     index: int
     depth: int
-    fifo: deque = field(default_factory=deque)
+    fifo: deque[Flit] = field(default_factory=deque)
     #: Packet currently occupying the VC (None = free).
     active_packet: int | None = None
     #: Output port allocated to the active packet (set when its head flit

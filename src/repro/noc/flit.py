@@ -50,7 +50,7 @@ class Flit:
     packet: "Packet"
     kind: FlitType
     index: int
-    destinations: tuple = ()
+    destinations: tuple[object, ...] = ()
     flit_id: int = field(default_factory=lambda: next(_flit_ids))
     injected_at: int | None = None
     ejected_at: int | None = None
@@ -74,7 +74,7 @@ class Flit:
         """Bits available for address/data after the overhead fields."""
         return config.FLIT_SIZE_BITS - config.FLIT_OVERHEAD_BITS
 
-    def clone_for(self, destinations: tuple) -> "Flit":
+    def clone_for(self, destinations: tuple[object, ...]) -> "Flit":
         """Replicate this flit for a subset of destinations (multicasting).
 
         The replica is a distinct flit (new id, zeroed hop count continues

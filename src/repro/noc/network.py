@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.config import RouterConfig
 from repro.errors import SimulationError
@@ -19,6 +20,9 @@ from repro.noc.router import EJECT, INJECT, Router
 from repro.noc.routing import RouteComputer, routing_for
 from repro.noc.topology import NodeId, Topology
 from repro.telemetry import trace as _trace
+
+if TYPE_CHECKING:
+    from repro.noc.arraycore import ArrayNetwork
 
 
 @dataclass
@@ -68,6 +72,42 @@ class NetworkStats:
         if not self.deliveries:
             return 0.0
         return sum(d.hops for d in self.deliveries) / len(self.deliveries)
+
+
+#: Recognized flit-core selectors (see :func:`make_network`).
+CORES = ("object", "array")
+
+
+def normalize_core(core: str | None) -> str:
+    """Validate and default a ``core=`` selector ("object" when None)."""
+    if core is None:
+        return "object"
+    if core not in CORES:
+        raise SimulationError(
+            f"unknown flit core {core!r}; expected one of {CORES}"
+        )
+    return core
+
+
+def make_network(
+    topology: Topology,
+    routing: RouteComputer | None = None,
+    router_config: RouterConfig | None = None,
+    core: str | None = None,
+) -> "Network | ArrayNetwork":
+    """Build a flit-level network on the selected simulation core.
+
+    ``core="object"`` (the default) returns the reference
+    :class:`Network`; ``core="array"`` returns the struct-of-arrays
+    :class:`repro.noc.arraycore.ArrayNetwork`, which is bit-identical on
+    healthy workloads but requires NumPy and supports neither checkers
+    nor fault controllers.
+    """
+    if normalize_core(core) == "array":
+        from repro.noc.arraycore import ArrayNetwork
+
+        return ArrayNetwork(topology, routing, router_config)
+    return Network(topology, routing, router_config)
 
 
 class Network:

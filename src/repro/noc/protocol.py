@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from repro.cache.bank import BankDescriptor, bank_descriptors_for_column
 from repro.config import memory_access_latency
 from repro.errors import ProtocolError
-from repro.noc.network import Delivery, Network
+from repro.noc.network import Delivery, make_network
 from repro.noc.packet import MessageType, Packet
 from repro.noc.topology import MeshTopology, NodeId
 
@@ -67,10 +67,11 @@ class FlitLevelCacheProtocol:
         cols: int = 16,
         rows: int = 16,
         bank_capacity: int = 64 * 1024,
+        core: str | None = None,
     ) -> None:
         self.topology = MeshTopology(cols, rows, core_column=cols // 2,
                                      memory_column=cols // 2)
-        self.network = Network(self.topology)
+        self.network = make_network(self.topology, core=core)
         self.core: NodeId = self.topology.core_attach
         self.memory: NodeId = self.topology.memory_attach
         self.rows = rows

@@ -100,6 +100,9 @@ class Router:
 
         self._rr_in: dict[object, int] = {port: 0 for port in self.inputs}
         self._rr_out: dict[object, int] = {port: 0 for port in self.out_ports}
+        #: Arbitration tie-break ranks, precomputed so the switch-allocation
+        #: hot loop never re-stringifies port names.
+        self._in_rank: dict[object, str] = {port: str(port) for port in in_ports}
         #: Validation observers (installed via Network.install_checker);
         #: notified after each committed switch traversal and each
         #: multicast replication. Empty in normal runs.
@@ -138,12 +141,15 @@ class Router:
 
     def _output_groups(self, flit: Flit) -> dict[object, tuple]:
         """Group the head flit's destinations by required output port."""
+        node = self.node
+        next_hop = self.routing.next_hop
+        topology = self.topology
         groups: dict[object, list] = {}
         for destination in flit.destinations:
-            if destination == self.node:
+            if destination == node:
                 port = EJECT
             else:
-                port = self.routing.next_hop(self.topology, self.node, destination)
+                port = next_hop(topology, node, destination)
             groups.setdefault(port, []).append(destination)
         return {port: tuple(dsts) for port, dsts in groups.items()}
 
@@ -158,10 +164,11 @@ class Router:
         """
         for port, unit in self.inputs.items():
             for vc in unit:
-                flit = vc.head()
-                if flit is None or not flit.is_multicast:
+                fifo = vc.fifo
+                if not fifo:
                     continue
-                if flit.eligible_at > cycle:
+                flit = fifo[0]
+                if not flit.is_multicast or flit.eligible_at > cycle:
                     continue
                 if not flit.kind.is_head or not flit.kind.is_tail:
                     raise ProtocolError(
@@ -242,12 +249,16 @@ class Router:
     def _candidate_for_port(self, port: object, cycle: int) -> _Forward | None:
         """Pick at most one ready VC of input PC *port* (round-robin)."""
         unit = self.inputs[port]
+        n = len(unit)
         start = self._rr_in[port]
-        for offset in range(len(unit)):
-            vc = unit[(start + offset) % len(unit)]
-            forward = self._vc_ready(vc, cycle)
+        vc_ready = self._vc_ready
+        for offset in range(n):
+            vc = unit[(start + offset) % n]
+            if not vc.fifo:
+                continue
+            forward = vc_ready(vc, cycle)
             if forward is not None:
-                self._rr_in[port] = (start + offset + 1) % len(unit)
+                self._rr_in[port] = (start + offset + 1) % n
                 return forward
         return None
 
@@ -256,9 +267,9 @@ class Router:
         if flit is None or flit.eligible_at > cycle:
             return None
         if flit.kind.is_head:
-            if flit.is_multicast and len(self._output_groups(flit)) > 1:
-                return None  # must replicate first
             groups = self._output_groups(flit)
+            if flit.is_multicast and len(groups) > 1:
+                return None  # must replicate first
             (out_port, _), = groups.items()
             if out_port == EJECT:
                 return _Forward(flit, EJECT, None)
@@ -289,16 +300,24 @@ class Router:
 
     def switch_phase(self, cycle: int) -> list[_Forward]:
         """Arbitrate the crossbar; pop and return this cycle's winners."""
-        candidates: list[_Forward] = []
+        candidate = self._candidate_for_port
         by_input: dict[object, _Forward] = {}
-        for port in self.inputs:
-            forward = self._candidate_for_port(port, cycle)
+        for port, unit in self.inputs.items():
+            for vc in unit:
+                if vc.fifo:
+                    break
+            else:
+                continue  # every VC of this input PC is empty
+            forward = candidate(port, cycle)
             if forward is not None:
                 by_input[port] = forward
-                candidates.append(forward)
+        if not by_input:
+            return []
 
         winners: list[_Forward] = []
-        granted_outputs: set = set()
+        rr_out = self._rr_out
+        in_rank = self._in_rank
+        observers = self.observers
         # Round-robin over output ports for fairness.
         for out_port in self.out_ports:
             contenders = [
@@ -310,13 +329,14 @@ class Router:
                 continue
             if len(contenders) > 1:
                 self.stats.switch_conflicts += len(contenders) - 1
-            pick = self._rr_out[out_port] % len(contenders)
-            contenders.sort(key=lambda item: str(item[0]))
-            port, forward = contenders[pick]
-            self._rr_out[out_port] = self._rr_out[out_port] + 1
-            granted_outputs.add(out_port)
+                pick = rr_out[out_port] % len(contenders)
+                contenders.sort(key=lambda item: in_rank[item[0]])
+                port, forward = contenders[pick]
+            else:
+                port, forward = contenders[0]
+            rr_out[out_port] = rr_out[out_port] + 1
             committed = self._commit(port, forward, cycle)
-            for observer in self.observers:
+            for observer in observers:
                 observer.on_switch(self, port, committed, cycle)
             winners.append(committed)
         return winners

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.noc.arraycore import HAVE_NUMPY, ArrayNetwork
 from repro.noc.network import Network
 from repro.noc.packet import MessageType, Packet
 from repro.validation.invariants import (
@@ -79,6 +80,9 @@ class OracleReport:
     conservation_checks: int = 0
     timing_checks: int = 0
     legs: list[LegResult] = field(default_factory=list)
+    #: Flit legs replayed on *both* cores and compared cycle-for-cycle
+    #: (0 when NumPy is unavailable and the array core is skipped).
+    array_legs: int = 0
     divergences: list[str] = field(default_factory=list)
 
     @property
@@ -91,7 +95,8 @@ class OracleReport:
             f"oracle {self.design}/{self.scheme}/{self.benchmark} "
             f"measure={self.measure} seed={self.seed}: {verdict} "
             f"({self.accesses} accesses, {self.conservation_checks} content "
-            f"checks, {len(self.legs)} flit legs)"
+            f"checks, {len(self.legs)} flit legs, "
+            f"{self.array_legs} array-core cross-checks)"
         )
 
     def render(self) -> str:
@@ -207,6 +212,62 @@ def _replay_legs_on_network(system, sampled, report, hop_slack: int) -> None:
                     )
 
 
+def _crosscheck_array_core(system, sampled, report) -> None:
+    """Replay the sampled legs on both flit cores and diff cycle timings.
+
+    Every delivery's (destination, injection cycle, delivery cycle, hop
+    count) must match bit-for-bit between the object core and the
+    struct-of-arrays core; packet ids are process-global counters and are
+    deliberately not compared. Skipped without NumPy.
+    """
+    if not HAVE_NUMPY:
+        return
+    topology = system.geometry.topology
+    observed: dict[str, list[tuple]] = {}
+    for name, network in (
+        ("object", Network(topology)),
+        ("array", ArrayNetwork(topology)),
+    ):
+        rows: list[tuple] = []
+        for txn_index, (column, hit, bank_position) in sampled:
+            for leg_name, message, source, destinations in _protocol_legs(
+                system, column, hit, bank_position
+            ):
+                already = len(network.stats.deliveries)
+                network.inject(Packet(message, source, destinations))
+                network.run_until_drained()
+                for delivery in network.stats.deliveries[already:]:
+                    rows.append(
+                        (
+                            txn_index,
+                            leg_name,
+                            str(source),
+                            str(delivery.destination),
+                            delivery.injected_at,
+                            delivery.delivered_at,
+                            delivery.hops,
+                        )
+                    )
+        observed[name] = rows
+    if observed["object"] != observed["array"]:
+        mismatches = [
+            (obj, arr)
+            for obj, arr in zip(observed["object"], observed["array"])
+            if obj != arr
+        ]
+        detail = (
+            f"first mismatch {mismatches[0]}"
+            if mismatches
+            else f"row counts {len(observed['object'])} vs "
+            f"{len(observed['array'])}"
+        )
+        report.divergences.append(
+            f"array core diverged from object core on replayed flit legs "
+            f"({detail})"
+        )
+    report.array_legs = len(observed["object"])
+
+
 def run_oracle(
     design: str = "A",
     scheme: str = "multicast+fast_lru",
@@ -215,6 +276,7 @@ def run_oracle(
     seed: int = 1,
     sample: int = 4,
     tolerances: Tolerances | None = None,
+    core: str = "object",
 ) -> OracleReport:
     """Differentially validate one cell; returns the full report.
 
@@ -234,7 +296,7 @@ def run_oracle(
     from repro.workloads.profiles import profile_by_name
 
     tolerances = tolerances or Tolerances()
-    config = ExperimentConfig(measure=measure, seed=seed)
+    config = ExperimentConfig(measure=measure, seed=seed, core=core)
     spec = spec_for(design, scheme, benchmark, config)
     report = OracleReport(
         design=spec.design,
@@ -300,4 +362,5 @@ def run_oracle(
         (i, recorder.rows[i]) for i in _sample_indices(len(recorder.rows), sample)
     ]
     _replay_legs_on_network(system, sampled, report, tolerances.hop_slack)
+    _crosscheck_array_core(system, sampled, report)
     return report

@@ -20,7 +20,12 @@
 * **analysis** -- a randomized rule-violating source snippet (wall-clock
   read, unseeded RNG, mutable default, bare except, ...) that
   :func:`repro.analysis.analyze_source` must flag with the expected
-  rule -- the lint engine fuzz-tests itself.
+  rule -- the lint engine fuzz-tests itself;
+* **arraycore** -- a noc-family geometry and traffic replayed on both
+  the object core and the struct-of-arrays core
+  (:class:`repro.noc.arraycore.ArrayNetwork`), diffing normalized
+  deliveries, stats, and telemetry counters bit-for-bit (a no-op
+  without NumPy).
 
 Every case is a plain dataclass whose ``repr`` round-trips, so a failing
 case shrinks (greedy delta-debugging over its packets / accesses /
@@ -119,6 +124,23 @@ class AnalysisCase:
     rule: str
     module: str
     source: str
+
+
+@dataclass(frozen=True)
+class ArraycoreCase:
+    """A random geometry + traffic replayed on both flit cores.
+
+    The object core is the reference; the struct-of-arrays core must
+    produce bit-identical cycle counts, per-delivery timings/hops, and
+    telemetry counters. Packet ids are process-global counters, so the
+    digest keys deliveries by injection order instead.
+    """
+
+    kind: str  # "mesh" | "simplified" | "halo"
+    cols: int
+    rows: int
+    single_cycle: bool = True
+    packets: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -221,6 +243,17 @@ def _make_oracle_case(rng: random.Random) -> OracleCase:
     )
 
 
+def _make_arraycore_case(rng: random.Random) -> ArraycoreCase:
+    base = _make_noc_case(rng)
+    return ArraycoreCase(
+        kind=base.kind,
+        cols=base.cols,
+        rows=base.rows,
+        single_cycle=rng.random() < 0.7,
+        packets=base.packets,
+    )
+
+
 def _make_faults_case(rng: random.Random) -> FaultsCase:
     base = _make_noc_case(rng)
     # Rates stay modest: per-flit-traversal transients compound over
@@ -268,6 +301,15 @@ _ANALYSIS_TEMPLATES = (
      "        handler(node)\n"),
     ("det-set-iter", "repro.noc.{n}",
      "def {n}_fan(links):\n    return [hop for hop in set(links)]\n"),
+    ("det-unseeded-random", "repro.noc.{n}",
+     "import numpy\n\n\ndef {n}_jitter(n):\n"
+     "    return numpy.random.standard_normal({v})\n"),
+    ("det-unordered-reduce", "repro.noc.{n}",
+     "def {n}_total(flits):\n"
+     "    return sum({{f.latency for f in flits[:{v}]}})\n"),
+    ("det-unordered-reduce", "repro.sim.{n}",
+     "import math\n\n\ndef {n}_energy(extra):\n"
+     "    return math.fsum({{0.5, 1.5, extra, {v}}})\n"),
     ("proc-spec-pickle", "repro.experiments.{n}",
      "from dataclasses import dataclass\n\n\n@dataclass(frozen=True)\n"
      "class {c}Spec:\n    tag: str\n    table: dict\n"),
@@ -322,10 +364,12 @@ _FAMILY_MAKERS = {
     "oracle": _make_oracle_case,
     "faults": _make_faults_case,
     "analysis": _make_analysis_case,
+    "arraycore": _make_arraycore_case,
 }
 
 DEFAULT_FAMILIES = (
-    "noc", "cache", "faults", "analysis", "noc", "cache", "oracle"
+    "noc", "cache", "faults", "analysis", "arraycore", "noc", "cache",
+    "oracle", "arraycore",
 )
 
 
@@ -357,6 +401,105 @@ def _run_noc_case(case: NocCase) -> None:
         )
         network.schedule_injection(packet, at_cycle=spec.inject_cycle)
     run_with_checkers(network, max_cycles=20_000, stall_limit=300)
+
+
+def _core_digest(network) -> tuple:
+    """Core-independent fingerprint of a drained network's observables.
+
+    Packet/flit ids are process-global counters that differ between two
+    runs, so deliveries are keyed by (created_at, source, first-seen
+    order) instead of ``packet_id``.
+    """
+    order: dict = {}
+    rows = []
+    for delivery in network.stats.deliveries:
+        pid = delivery.packet.packet_id
+        if pid not in order:
+            order[pid] = (
+                delivery.packet.created_at,
+                str(delivery.packet.source),
+                len(order),
+            )
+        rows.append(
+            (
+                order[pid],
+                str(delivery.destination),
+                delivery.injected_at,
+                delivery.delivered_at,
+                delivery.hops,
+            )
+        )
+    rows.sort()
+    counters: dict[str, int] = {}
+
+    class _Metric:
+        def __init__(self, name: str, high_water: bool) -> None:
+            self.name = name
+            self.high_water = high_water
+
+        def inc(self, value) -> None:
+            counters[self.name] = counters.get(self.name, 0) + value
+
+        def update_max(self, value) -> None:
+            counters[self.name] = max(counters.get(self.name, 0), value)
+
+    class _Registry:
+        def counter(self, name: str) -> _Metric:
+            return _Metric(name, False)
+
+        def gauge(self, name: str) -> _Metric:
+            return _Metric(name, True)
+
+    network.publish_metrics(_Registry())
+    stats = network.stats
+    return (
+        stats.cycles,
+        stats.packets_injected,
+        stats.flits_injected,
+        stats.packets_delivered,
+        tuple(rows),
+        tuple(sorted(counters.items())),
+    )
+
+
+def _run_arraycore_case(case: ArraycoreCase) -> None:
+    from repro.config import RouterConfig
+    from repro.noc.arraycore import HAVE_NUMPY, ArrayNetwork
+    from repro.noc.network import Network
+    from repro.noc.packet import MessageType, Packet
+
+    if not HAVE_NUMPY:  # graceful no-op: the array core needs numpy
+        return
+    digests = {}
+    for name, cls in (("object", Network), ("array", ArrayNetwork)):
+        topology = _build_topology(NocCase(case.kind, case.cols, case.rows))
+        network = cls(
+            topology,
+            router_config=RouterConfig(single_cycle=bool(case.single_cycle)),
+        )
+        for spec in case.packets:
+            packet = Packet(
+                MessageType(spec.message), spec.source, tuple(spec.destinations)
+            )
+            network.schedule_injection(packet, at_cycle=spec.inject_cycle)
+        network.run_until_drained(max_cycles=20_000)
+        digests[name] = _core_digest(network)
+    if digests["object"] != digests["array"]:
+        fields_ = (
+            "cycles", "packets_injected", "flits_injected",
+            "packets_delivered", "deliveries", "counters",
+        )
+        diffs = [
+            name
+            for name, obj, arr in zip(
+                fields_, digests["object"], digests["array"]
+            )
+            if obj != arr
+        ]
+        raise ValidationError(
+            f"array core diverged from object core on {', '.join(diffs)}: "
+            f"object={digests['object']!r} array={digests['array']!r}"
+        )
 
 
 def _make_policy(name: str):
@@ -453,6 +596,8 @@ def run_case(case) -> None:
         _run_oracle_case(case)
     elif isinstance(case, FaultsCase):
         _run_faults_case(case)
+    elif isinstance(case, ArraycoreCase):
+        _run_arraycore_case(case)
     elif isinstance(case, AnalysisCase):
         _run_analysis_case(case)
     else:
@@ -524,6 +669,12 @@ def shrink_case(case):
             if _fails(candidate):
                 return candidate
         return case
+    if isinstance(case, ArraycoreCase):
+        packets = shrink_list(
+            list(case.packets),
+            lambda kept: _fails(replace(case, packets=tuple(kept))),
+        )
+        return replace(case, packets=tuple(packets))
     if isinstance(case, FaultsCase):
         packets = shrink_list(
             list(case.packets),
@@ -550,6 +701,7 @@ _CASE_IMPORTS = {
     OracleCase: "OracleCase",
     FaultsCase: "FaultsCase, PacketSpec",
     AnalysisCase: "AnalysisCase",
+    ArraycoreCase: "ArraycoreCase, PacketSpec",
 }
 
 

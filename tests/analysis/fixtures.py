@@ -102,6 +102,55 @@ FIXTURES = [
         "  # repro: allow[det-id-order] -- fixture: membership-only set\n",
     ),
     Fixture(
+        # Module-level numpy draws share numpy's hidden global state just
+        # like random.* does.
+        "det-unseeded-random", "determinism", "positive", "repro.noc.demo",
+        "import numpy\n\n\ndef jitter(n):\n"
+        "    return numpy.random.standard_normal(n)\n",
+    ),
+    Fixture(
+        "det-unseeded-random", "determinism", "positive",
+        "repro.workloads.demo",
+        "from numpy import random as nprandom\n\n\ndef arrivals(n):\n"
+        "    return nprandom.poisson(3.0, n)\n",
+    ),
+    Fixture(
+        "det-unseeded-random", "determinism", "negative", "repro.noc.demo",
+        "import numpy\n\n\ndef jitter(n, seed):\n"
+        "    rng = numpy.random.default_rng(seed)\n"
+        "    return rng.standard_normal(n)\n",
+    ),
+    Fixture(
+        "det-unordered-reduce", "determinism", "positive", "repro.noc.demo",
+        "def total(latencies):\n"
+        "    return sum({flit.latency for flit in latencies})\n",
+    ),
+    Fixture(
+        "det-unordered-reduce", "determinism", "positive", "repro.sim.demo",
+        "import math\n\n\ndef energy(loads, extra):\n"
+        "    return math.fsum({0.5, 1.5, extra})\n",
+    ),
+    Fixture(
+        # Reducing a deterministic sequence is the idiomatic fix.
+        "det-unordered-reduce", "determinism", "negative", "repro.noc.demo",
+        "def total(latencies):\n"
+        "    return sum(sorted({flit.latency for flit in latencies}))\n",
+    ),
+    Fixture(
+        # Outside the simulation core the rule does not apply.
+        "det-unordered-reduce", "determinism", "negative",
+        "repro.experiments.demo",
+        "def total(values):\n"
+        "    return sum({v for v in values})\n",
+    ),
+    Fixture(
+        "det-unordered-reduce", "determinism", "suppressed",
+        "repro.noc.demo",
+        "def total(counts):\n"
+        "    return sum({c for c in counts})"
+        "  # repro: allow[det-unordered-reduce] -- fixture: ints commute\n",
+    ),
+    Fixture(
         "det-set-iter", "determinism", "positive", "repro.sim.demo",
         "def visit(handler, extra):\n"
         "    for node in {1, 2, extra}:\n"

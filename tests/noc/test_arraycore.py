@@ -1,0 +1,240 @@
+"""Equivalence and unit tests for the SoA array core (repro.noc.arraycore).
+
+The array core's contract is *bit-equivalence* with the object-model
+reference ``Network``: identical cycle counts, delivery records, and
+telemetry counters for any legal workload. The sweeps here drive both
+cores over designs x traffic x seeds and assert digest equality; the
+unit tests pin the SoA plumbing (ring-buffer wraparound, pool growth,
+credit accounting, replication slot borrowing) directly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import RouterConfig
+from repro.errors import SimulationError
+from repro.noc import (
+    HaloTopology,
+    MeshTopology,
+    MessageType,
+    Network,
+    Packet,
+    SimplifiedMeshTopology,
+)
+from repro.noc.arraycore import HAVE_NUMPY, ArrayNetwork, FlitPool
+from repro.noc.network import make_network, normalize_core
+from repro.validation.fuzzer import _core_digest
+
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="array core requires numpy"
+)
+
+
+def _run_both(make_topology, packets, single_cycle=True, max_cycles=50_000):
+    """Run the same workload on both cores; return their digests."""
+    digests = {}
+    for name, cls in (("object", Network), ("array", ArrayNetwork)):
+        net = cls(
+            make_topology(),
+            router_config=RouterConfig(single_cycle=single_cycle),
+        )
+        for message, source, destinations, at_cycle in packets:
+            net.schedule_injection(
+                Packet(message, source, destinations), at_cycle=at_cycle
+            )
+        net.run_until_drained(max_cycles=max_cycles)
+        digests[name] = _core_digest(net)
+    return digests
+
+
+def _unicast_stream(nodes, seed, count, spacing):
+    rng = random.Random(seed)
+    stream = []
+    for i in range(count):
+        source, destination = rng.sample(nodes, 2)
+        message = rng.choice(
+            (MessageType.READ_REQUEST, MessageType.REPLACEMENT)
+        )
+        stream.append((message, source, (destination,), i * spacing))
+    return stream
+
+
+@needs_numpy
+class TestEquivalenceSweeps:
+    @pytest.mark.parametrize("single_cycle", [True, False])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_mesh_unicast(self, seed, single_cycle):
+        nodes = [(x, y) for x in range(5) for y in range(4)]
+        packets = _unicast_stream(nodes, seed, count=30, spacing=2)
+        digests = _run_both(
+            lambda: MeshTopology(5, 4), packets, single_cycle=single_cycle
+        )
+        assert digests["object"] == digests["array"]
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_simplified_mesh_multicast(self, seed):
+        rng = random.Random(seed)
+        packets = []
+        for i in range(20):
+            x = rng.randrange(4)
+            column = tuple((x, y) for y in range(4))
+            packets.append(
+                (MessageType.READ_REQUEST, (x, 0), column, i * 3)
+            )
+        digests = _run_both(lambda: SimplifiedMeshTopology(4, 4), packets)
+        assert digests["object"] == digests["array"]
+
+    @pytest.mark.parametrize("single_cycle", [True, False])
+    def test_halo_mixed_traffic(self, single_cycle):
+        topology = HaloTopology(4, 4)
+        nodes = sorted(topology.nodes, key=str)
+        rng = random.Random(9)
+        packets = _unicast_stream(nodes, 9, count=15, spacing=4)
+        spikes = [n for n in nodes if n[0] == "spike"]
+        for i in range(8):
+            destinations = tuple(rng.sample(spikes, 3))
+            packets.append(
+                (MessageType.MISS_NOTIFY, ("hub",), destinations, i * 5)
+            )
+        digests = _run_both(
+            lambda: HaloTopology(4, 4), packets, single_cycle=single_cycle
+        )
+        assert digests["object"] == digests["array"]
+
+    def test_protocol_paced_large_mesh(self):
+        nodes = [(x, y) for x in range(8) for y in range(8)]
+        packets = _unicast_stream(nodes, 5, count=25, spacing=40)
+        digests = _run_both(lambda: MeshTopology(8, 8), packets)
+        assert digests["object"] == digests["array"]
+
+
+@needs_numpy
+class TestProtocolAndLoadParity:
+    def test_protocol_trace_identical(self):
+        from repro.noc.protocol import FlitLevelCacheProtocol
+
+        traces = {}
+        for core in ("object", "array"):
+            protocol = FlitLevelCacheProtocol(cols=8, rows=8, core=core)
+            hit = protocol.run_hit(column=3, depth=4)
+            miss = protocol.run_miss(column=5)
+            traces[core] = (
+                hit.issued,
+                hit.data_at_core,
+                hit.chain_done_at,
+                sorted(hit.request_arrivals.items()),
+                miss.data_at_core,
+                miss.memory_requested_at,
+            )
+        assert traces["object"] == traces["array"]
+
+    def test_load_point_identical(self):
+        from repro.experiments.noc_load import run_load_point
+
+        points = {
+            core: run_load_point(
+                0.02, mesh_size=4, cycles=120, seed=3, core=core
+            )
+            for core in ("object", "array")
+        }
+        assert points["object"] == points["array"]
+
+
+class TestCoreSelector:
+    def test_normalize_core(self):
+        assert normalize_core(None) == "object"
+        assert normalize_core("object") == "object"
+        assert normalize_core("array") == "array"
+        with pytest.raises(SimulationError):
+            normalize_core("simd")
+
+    def test_make_network_object(self):
+        net = make_network(MeshTopology(2, 2), core="object")
+        assert isinstance(net, Network)
+
+    @needs_numpy
+    def test_make_network_array(self):
+        net = make_network(MeshTopology(2, 2), core="array")
+        assert isinstance(net, ArrayNetwork)
+
+    def test_cellspec_records_core(self):
+        from repro.experiments.common import ExperimentConfig
+        from repro.experiments.runner import spec_for
+
+        spec = spec_for(
+            "A", "multicast+fast_lru", "art",
+            ExperimentConfig(measure=10, core="array"),
+        )
+        assert spec.core == "array"
+        assert "array" in str(spec.key())
+
+
+@needs_numpy
+class TestSoAPlumbing:
+    def test_flit_pool_growth_doubles(self):
+        pool = FlitPool(capacity=2)
+        rows = [
+            pool.alloc(0, True, True, 0, (i,), 0, 0, 0) for i in range(5)
+        ]
+        assert rows == [0, 1, 2, 3, 4]
+        assert pool.capacity >= 5
+        assert pool.size == 5
+        assert pool.destinations[4] == (4,)
+
+    def test_ring_buffer_wraparound(self):
+        # Force heavy reuse of one VC: a long single-source stream keeps
+        # pushing/popping through the same ring slots.
+        net = ArrayNetwork(MeshTopology(3, 1))
+        for i in range(12):
+            net.schedule_injection(
+                Packet(
+                    MessageType.REPLACEMENT, (0, 0), ((2, 0),)
+                ),
+                at_cycle=i,
+            )
+        net.run_until_drained(max_cycles=5_000)
+        assert len(net.stats.deliveries) == 12
+
+    def test_credit_overflow_raises(self):
+        net = ArrayNetwork(MeshTopology(2, 2))
+        with pytest.raises(SimulationError, match="credit overflow"):
+            for _ in range(20):
+                net._return_credit(0, 0, 0)
+
+    def test_checkers_and_faults_unsupported(self):
+        net = ArrayNetwork(MeshTopology(2, 2))
+        with pytest.raises(SimulationError):
+            net.install_checker(object())
+        with pytest.raises(SimulationError):
+            net.install_fault_controller(object())
+        assert net.checkers == ()
+        assert net.fault_controller is None
+
+    def test_replication_borrows_and_counts(self):
+        # One spine-to-column multicast must replicate once per column
+        # router below the source; counters match the object core's.
+        results = {}
+        for cls in (Network, ArrayNetwork):
+            net = cls(SimplifiedMeshTopology(3, 4))
+            column = tuple((1, y) for y in range(4))
+            net.inject(
+                Packet(MessageType.READ_REQUEST, (1, 0), column)
+            )
+            net.run_until_drained(max_cycles=5_000)
+            results[cls.__name__] = (
+                net.total_replications(),
+                len(net.stats.deliveries),
+            )
+        assert results["Network"] == results["ArrayNetwork"]
+        assert results["ArrayNetwork"][0] >= 1
+        assert results["ArrayNetwork"][1] == 4
+
+    def test_without_numpy_make_network_raises(self, monkeypatch):
+        import repro.noc.arraycore as arraycore
+
+        monkeypatch.setattr(arraycore, "HAVE_NUMPY", False)
+        with pytest.raises(SimulationError, match="numpy"):
+            ArrayNetwork(MeshTopology(2, 2))
