@@ -196,6 +196,47 @@ def bench_telemetry(measure: int) -> dict:
     }
 
 
+def bench_windowed(measure: int, window: int = 64) -> dict:
+    """Windowed-series overhead on one cell: window=0 vs window=N.
+
+    ``windowed_ratio`` is the price of sampling every access into
+    per-window Series metrics; the off path must stay free (the guard
+    test bounds ``windowed_ratio`` and checks the window=0 snapshot
+    carries no series at all).
+    """
+    from repro.experiments.runner import execute_cell
+
+    config = ExperimentConfig(measure=measure)
+    plain_spec = spec_for("A", SWEEP_SCHEME, "art", config)
+    windowed_spec = spec_for(
+        "A", SWEEP_SCHEME, "art", config, window=window
+    )
+    execute_cell(plain_spec)  # warm trace/import caches
+
+    def timed(spec, repeats: int = 3) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            execute_cell(spec)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    plain_s = timed(plain_spec)
+    windowed_s = timed(windowed_spec)
+    result = execute_cell(windowed_spec)
+    series_keys = [
+        key for key in result.metrics if key.startswith("cache.series.")
+    ]
+    return {
+        "measure": measure,
+        "window": window,
+        "plain_cell_s": round(plain_s, 4),
+        "windowed_cell_s": round(windowed_s, 4),
+        "windowed_ratio": round(windowed_s / plain_s, 3),
+        "series_metrics": len(series_keys),
+    }
+
+
 def render(payload: dict) -> str:
     sweep, acquire = payload["sweep"], payload["acquire"]
     lines = [
@@ -233,6 +274,17 @@ def render(payload: dict) -> str:
             f"(x{telemetry['traced_ratio']:.2f}, "
             f"{telemetry['trace_events']} events)",
         ]
+    windowed = payload.get("windowed_telemetry")
+    if windowed:
+        lines += [
+            "",
+            f"Windowed series, one cell at measure={windowed['measure']}, "
+            f"window={windowed['window']}:",
+            f"  window off           {windowed['plain_cell_s']:8.4f} s",
+            f"  window on            {windowed['windowed_cell_s']:8.4f} s  "
+            f"(x{windowed['windowed_ratio']:.2f}, "
+            f"{windowed['series_metrics']} series)",
+        ]
     array_core = payload.get("array_core")
     if array_core:
         lines += [
@@ -263,6 +315,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": bench_sweep(args.measure, jobs),
         "acquire": bench_acquire(),
         "telemetry": bench_telemetry(args.measure),
+        "windowed_telemetry": bench_windowed(args.measure),
     }
     from repro.noc.arraycore import HAVE_NUMPY
 

@@ -102,6 +102,53 @@ class SinkOnlyRule(Rule):
 
 
 @register
+class WindowSimTimeRule(Rule):
+    id = "tel-window-simtime"
+    family = "telemetry"
+    summary = (
+        "metric samples are stamped with sim time only: no wall- or "
+        "monotonic-clock expression may flow into a .record()/.series() "
+        "argument anywhere in repro"
+    )
+
+    #: Metric-sampling calls whose arguments index series windows or
+    #: histogram buckets. Host time in one silently shears the windowed
+    #: merge contract (serial == --jobs N == cache replay) even in
+    #: layers where monotonic clocks are otherwise fine for wall-cost
+    #: metadata, so this rule is not scope-gated.
+    _SAMPLERS = ("record", "series")
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute) and func.attr in self._SAMPLERS
+            ):
+                continue
+            arguments = list(node.args) + [kw.value for kw in node.keywords]
+            origin = next(
+                (
+                    qual
+                    for argument in arguments
+                    for child in ast.walk(argument)
+                    if isinstance(child, ast.Call)
+                    and (qual := info.qualname(child.func)) is not None
+                    and (qual in _WALLCLOCK or qual in _MONOTONIC)
+                ),
+                None,
+            )
+            if origin is not None:
+                yield self.finding(
+                    info, node,
+                    f"{origin}() flows into .{func.attr}(): series windows "
+                    "and metric samples are keyed by sim cycles, never host "
+                    "time -- pass the simulation cycle instead",
+                )
+
+
+@register
 class SinkPayloadWallClockRule(Rule):
     id = "tel-wallclock-payload"
     family = "telemetry"

@@ -43,6 +43,7 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
         measure=args.measure,
         seed=args.seed,
         core=getattr(args, "core", "object"),
+        window=getattr(args, "window", 0),
     )
 
 
@@ -121,6 +122,27 @@ def cmd_table(args: argparse.Namespace) -> str:
 
 
 def cmd_report(args: argparse.Namespace) -> str:
+    if args.metrics:
+        import json
+
+        from repro.telemetry import report as metrics_report
+
+        snapshot = metrics_report.load_metrics(args.metrics)
+        report = metrics_report.explore(snapshot)
+        lines = []
+        if args.png:
+            if metrics_report.write_png(report, args.png):
+                lines.append(f"heatmap PNG written to {args.png}")
+            else:
+                lines.append(
+                    f"matplotlib not installed; skipped PNG {args.png}"
+                )
+        if args.format == "json":
+            lines.append(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            lines.append(metrics_report.render_text(report))
+        return "\n".join(lines)
+
     from repro.experiments import full_report
 
     path = full_report.write(
@@ -188,6 +210,15 @@ def cmd_trace(args: argparse.Namespace) -> str:
 def cmd_validate(args: argparse.Namespace) -> str:
     from repro.validation import fuzz, run_oracle
 
+    if getattr(args, "profile_phases", False):
+        from repro.noc.arraycore import HAVE_NUMPY
+        from repro.perf import profiler
+
+        cores = ("object", "array") if HAVE_NUMPY else ("object",)
+        return "\n".join(
+            profiler.profile_load(core, seed=args.seed).render()
+            for core in cores
+        )
     if args.fuzz:
         report = fuzz(args.fuzz, seed=args.seed)
         if not report.ok:
@@ -338,6 +369,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="flit-simulation core: the reference object "
                             "model or the NumPy struct-of-arrays core "
                             "(bit-identical, much faster)")
+        p.add_argument("--window", type=int, default=0, metavar="N",
+                       help="sample windowed metric series every N "
+                            "sim-cycles (0 = off); series appear in "
+                            "--metrics-out and feed `repro report`")
 
     run = sub.add_parser("run", help="simulate one configuration")
     run.add_argument("--design", choices=DESIGN_NAMES, default="A")
@@ -376,8 +411,29 @@ def build_parser() -> argparse.ArgumentParser:
     common(energy)
     energy.set_defaults(handler=cmd_energy)
 
-    report = sub.add_parser("report",
-                            help="regenerate every artifact into one file")
+    report = sub.add_parser(
+        "report",
+        help="regenerate every artifact into one file, or explore a "
+             "--metrics-out snapshot",
+        description=(
+            "Without an argument: regenerate every table and figure into "
+            "--out. With a metrics file (or run directory) written by "
+            "--metrics-out: render its windowed time series, a mesh "
+            "congestion heatmap from the per-link counters, and the "
+            "cache.span.* latency breakdown."
+        ),
+    )
+    report.add_argument("metrics", nargs="?", default=None,
+                        help="a --metrics-out JSON file or a directory "
+                             "containing one (omit for the full artifact "
+                             "regeneration)")
+    report.add_argument("--format", choices=("text", "json"), default="text",
+                        help="explorer output: human tables/ASCII heatmap "
+                             "or the structured JSON report")
+    report.add_argument("--png", default=None, metavar="PATH",
+                        help="also draw the heatmap + series with "
+                             "matplotlib when it is installed (skipped "
+                             "with a notice otherwise)")
     report.add_argument("--out", default="results.txt")
     common(report)
     report.set_defaults(handler=cmd_report)
@@ -438,6 +494,11 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--sample", type=int, default=3,
                           help="transactions re-enacted at flit level per "
                                "oracle cell (default 3)")
+    validate.add_argument("--profile-phases", action="store_true",
+                          help="instead of validating, wall-time-profile "
+                               "the flit cores' cycle phases (arrivals / "
+                               "inject / replication / switch) under the "
+                               "standard load and print the breakdown")
     common(validate)
     validate.set_defaults(handler=cmd_validate)
 

@@ -36,10 +36,26 @@ from repro.config import packet_flits
 from repro.core.geometry import CacheGeometry
 from repro.errors import ProtocolError
 from repro.telemetry import trace as _trace
-from repro.telemetry.registry import CHAIN_DEPTH_EDGES, MetricsRegistry
+from repro.telemetry.registry import (
+    CHAIN_DEPTH_EDGES,
+    SPAN_CYCLE_EDGES,
+    MetricsRegistry,
+)
 
 CONTROL = packet_flits(carries_block=False)
 DATA = packet_flits(carries_block=True)
+
+#: Latency-breakdown legs every transaction decomposes into
+#: (DESIGN.md §14): admission wait, wormhole serialization, uncontended
+#: router+wire hops, channel-grant queueing, bank service, and memory.
+SPAN_LEGS = (
+    "injection_queueing",
+    "serialization",
+    "hop_traversal",
+    "network_queueing",
+    "bank_service",
+    "memory",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -121,6 +137,13 @@ class TransactionEngine:
         self._chain_depths = self.metrics.histogram(
             "cache.bankset.eviction_chain_depth", CHAIN_DEPTH_EDGES
         )
+        #: Always-on per-leg latency-breakdown histograms (fixed edges, so
+        #: they merge across cells). Like _chain_depths, the objects
+        #: survive registry resets.
+        self._span_hists = {
+            leg: self.metrics.histogram(f"cache.span.{leg}", SPAN_CYCLE_EDGES)
+            for leg in SPAN_LEGS
+        }
         self._sink = _trace.NULL_SINK
         #: Per-column transaction slots: the cache controller admits one
         #: transaction per bank-set column at a time on meshes, and two per
@@ -175,6 +198,10 @@ class TransactionEngine:
         slots = self._column_slots[column]
         slot = min(range(len(slots)), key=slots.__getitem__)
         start = max(issue_time, slots[slot])
+        geometry = self.geometry
+        queue0 = geometry.traversal_queue_cycles
+        hop0 = geometry.traversal_hop_cycles
+        ser0 = geometry.serialization_cycles
         fault_stats = getattr(self.geometry, "fault_stats", None)
         if fault_stats is not None:
             degraded_before = (
@@ -198,6 +225,13 @@ class TransactionEngine:
         if timing.settled < timing.data_at_core:
             timing.settled = timing.data_at_core
         slots[slot] = timing.settled
+        self._record_spans(
+            column, issue_time, sink, timing,
+            injection_queueing=t0 - issue_time,
+            serialization=geometry.serialization_cycles - ser0,
+            hop_traversal=geometry.traversal_hop_cycles - hop0,
+            network_queueing=geometry.traversal_queue_cycles - queue0,
+        )
         if sink.enabled:
             sink.complete(
                 "hit" if timing.hit else "miss", "cache.txn", issue_time,
@@ -231,6 +265,10 @@ class TransactionEngine:
         slots = self._column_slots[column]
         slot = min(range(len(slots)), key=slots.__getitem__)
         start = max(issue_time, slots[slot])
+        geometry = self.geometry
+        queue0 = geometry.traversal_queue_cycles
+        hop0 = geometry.traversal_hop_cycles
+        ser0 = geometry.serialization_cycles
         t0 = self.geometry.enter_column(column, start)
         timing = self._finish_miss(
             column,
@@ -246,6 +284,13 @@ class TransactionEngine:
         if timing.settled < timing.data_at_core:
             timing.settled = timing.data_at_core
         slots[slot] = timing.settled
+        self._record_spans(
+            column, issue_time, sink, timing,
+            injection_queueing=t0 - issue_time,
+            serialization=geometry.serialization_cycles - ser0,
+            hop_traversal=geometry.traversal_hop_cycles - hop0,
+            network_queueing=geometry.traversal_queue_cycles - queue0,
+        )
         if sink.enabled:
             sink.complete(
                 "early_miss", "cache.txn", issue_time,
@@ -256,6 +301,36 @@ class TransactionEngine:
         for validator in self.validators:
             validator.on_transaction(column, outcome, timing)
         return timing
+
+    def _record_spans(
+        self,
+        column: int,
+        issue_time: int,
+        sink,
+        timing: AccessTiming,
+        *,
+        injection_queueing: int,
+        serialization: int,
+        hop_traversal: int,
+        network_queueing: int,
+    ) -> None:
+        """Roll one access's latency-breakdown legs into the ``cache.span``
+        histograms and (when tracing) emit one span event per leg."""
+        legs = (
+            ("injection_queueing", injection_queueing),
+            ("serialization", serialization),
+            ("hop_traversal", hop_traversal),
+            ("network_queueing", network_queueing),
+            ("bank_service", timing.bank_cycles),
+            ("memory", timing.memory_cycles),
+        )
+        hists = self._span_hists
+        for leg, cycles in legs:
+            hists[leg].record(cycles)
+        if sink.enabled:
+            tid = f"column-{column}"
+            for leg, cycles in legs:
+                sink.complete(leg, "cache.span", issue_time, cycles, tid=tid)
 
     # -- bank helpers ---------------------------------------------------------
 

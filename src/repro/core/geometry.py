@@ -69,6 +69,14 @@ class CacheGeometry:
         #: Cycles multicast deliveries lost to channel contention -- the
         #: transaction-level analogue of replica-blocked router cycles.
         self.multicast_blocked_cycles = 0
+        #: Latency-breakdown accumulators over every traversal: cycles a
+        #: head flit waited for channel grants (queueing), uncontended
+        #: router+wire hop cost, and wormhole serialization (flits - 1).
+        #: Flows snapshot these before/after each access to attribute
+        #: per-transaction legs (DESIGN.md §14).
+        self.traversal_queue_cycles = 0
+        self.traversal_hop_cycles = 0
+        self.serialization_cycles = 0
         self._validate()
 
     def _validate(self) -> None:
@@ -127,6 +135,9 @@ class CacheGeometry:
         """Clear all resource occupancy (fresh run, same layout)."""
         self.floor_clock.reset()
         self.multicast_blocked_cycles = 0
+        self.traversal_queue_cycles = 0
+        self.traversal_hop_cycles = 0
+        self.serialization_cycles = 0
         for resource in self._channel_resources.values():
             resource.reset()
         for resource in self._bank_resources.values():
@@ -156,6 +167,32 @@ class CacheGeometry:
         registry.counter("noc.router.multicast_replica_blocked_cycles").set(
             self.multicast_blocked_cycles
         )
+        registry.counter("noc.traversal.queue_cycles").set(
+            self.traversal_queue_cycles
+        )
+        registry.counter("noc.traversal.hop_cycles").set(
+            self.traversal_hop_cycles
+        )
+        registry.counter("noc.traversal.serialization_cycles").set(
+            self.serialization_cycles
+        )
+        # Per-link congestion: one row per channel that carried traffic
+        # (the resource dict is lazy, so unused channels never appear).
+        # These rows are the heatmap substrate for `repro report`.
+        for key in sorted(self._channel_resources, key=str):
+            resource = self._channel_resources[key]
+            if not resource.grants:
+                continue
+            src, dst = key
+            link = f"{src}->{dst}"
+            registry.counter(f"noc.link.grants.{link}").set(resource.grants)
+            registry.counter(f"noc.link.busy_cycles.{link}").set(
+                resource.busy_cycles
+            )
+            if resource.queued_cycles:
+                registry.counter(f"noc.link.wait_cycles.{link}").set(
+                    resource.queued_cycles
+                )
         banks = self._bank_resources.values()
         registry.counter("cache.bank.grants").set(sum(r.grants for r in banks))
         registry.counter("cache.bank.busy_cycles").set(
@@ -218,16 +255,30 @@ class CacheGeometry:
         if plan is None:
             plan = self._plan(src, dst)
         head = time
+        queued = 0
+        hop_cycles = 0
         if record_waypoints:
             waypoints: dict[NodeId, int] = {}
             last = len(plan) - 1
             for i, (resource, cost, node) in enumerate(plan):
-                head = resource.acquire(head, flits) + cost
+                granted = resource.acquire(head, flits)
+                queued += granted - head
+                hop_cycles += cost
+                head = granted + cost
                 if i < last:
                     waypoints[node] = head
+            self.traversal_queue_cycles += queued
+            self.traversal_hop_cycles += hop_cycles
+            self.serialization_cycles += flits - 1
             return head + (flits - 1), waypoints
         for resource, cost, _ in plan:
-            head = resource.acquire(head, flits) + cost
+            granted = resource.acquire(head, flits)
+            queued += granted - head
+            hop_cycles += cost
+            head = granted + cost
+        self.traversal_queue_cycles += queued
+        self.traversal_hop_cycles += hop_cycles
+        self.serialization_cycles += flits - 1
         return head + (flits - 1), {}
 
     def multicast_column(

@@ -28,8 +28,36 @@ from repro.core.geometry import CacheGeometry
 from repro.errors import ConfigurationError
 from repro.perf.ipc import IssueModel
 from repro.perf.metrics import LatencyAccumulator
+from repro.telemetry.registry import (
+    LATENCY_SLO_EDGES,
+    MetricsRegistry,
+    Series,
+)
 from repro.workloads.profiles import BenchmarkProfile
 from repro.workloads.trace import Trace
+
+
+def make_system_series(
+    registry: MetricsRegistry, window: int
+) -> dict[str, Series]:
+    """Register the transaction-level windowed series.
+
+    Windows are keyed by the access's *issue sim-cycle* (never
+    wall-clock), so serial, parallel, and cache-replay sweeps of the same
+    cells merge to byte-identical series.
+    """
+    return {
+        "accesses": registry.series("cache.series.accesses", window),
+        "hits": registry.series("cache.series.hits", window),
+        "bank_cycles": registry.series("cache.series.bank_cycles", window),
+        "network_cycles": registry.series(
+            "cache.series.network_cycles", window
+        ),
+        "memory_cycles": registry.series("cache.series.memory_cycles", window),
+        "latency": registry.series(
+            "cache.series.latency", window, "hist", LATENCY_SLO_EDGES
+        ),
+    }
 
 
 @dataclass
@@ -92,6 +120,7 @@ class NetworkedCacheSystem:
         spike_queue_entries: int = 2,
         early_miss_detection: bool = False,
         partial_tag_bits: int = 6,
+        window: int = 0,
     ) -> None:
         self.spec = design_spec(design) if isinstance(design, str) else design
         self.scheme = make_scheme(scheme) if isinstance(scheme, str) else scheme
@@ -106,6 +135,15 @@ class NetworkedCacheSystem:
         self.memory = MemoryModel()
         self.memory.channel.floor_clock = self.geometry.floor_clock
         self.engine = TransactionEngine(self.geometry, self.memory, self.scheme)
+        #: Windowed metric series sampled every *window* issue-cycles
+        #: (0 = off). The Series objects live in the engine registry and
+        #: survive its warm-up reset, like the engine's histograms.
+        self.window = int(window)
+        self._series = (
+            make_system_series(self.engine.metrics, self.window)
+            if self.window > 0
+            else None
+        )
         #: Optional partial-tag early miss detection (D-NUCA smart search).
         self.partial_tags: PartialTagStore | None = None
         if early_miss_detection:
@@ -187,6 +225,21 @@ class NetworkedCacheSystem:
                 memory=timing.memory_cycles,
                 bank_position=timing.bank_position,
             )
+            series = self._series
+            if series is not None:
+                series["accesses"].record(issue_time)
+                if timing.hit:
+                    series["hits"].record(issue_time)
+                series["bank_cycles"].record(issue_time, timing.bank_cycles)
+                series["network_cycles"].record(
+                    issue_time, timing.network_cycles
+                )
+                series["memory_cycles"].record(
+                    issue_time, timing.memory_cycles
+                )
+                series["latency"].record(
+                    issue_time, timing.transaction_latency
+                )
 
         cycles, ipc = issue.finish()
         return RunResult(

@@ -28,6 +28,10 @@ class ExperimentConfig:
     #: Flit-simulation core ("object" | "array"); recorded on every
     #: CellSpec and honored wherever flit-level simulation runs.
     core: str = "object"
+    #: Windowed-telemetry sample window in sim-cycles (0 = off); recorded
+    #: on every CellSpec so windowed runs never share cache entries with
+    #: unwindowed ones.
+    window: int = 0
 
     def scaled(self, measure: int) -> "ExperimentConfig":
         """Same config at a different measurement length."""
@@ -37,6 +41,7 @@ class ExperimentConfig:
             benchmarks=self.benchmarks,
             warmup_mix_factor=self.warmup_mix_factor,
             core=self.core,
+            window=self.window,
         )
 
 

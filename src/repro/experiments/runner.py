@@ -87,6 +87,10 @@ class CellSpec:
     #: it and flit-level consumers (oracle legs, protocol validation,
     #: benches) honor it.
     core: str = "object"
+    #: Windowed-telemetry sample window in sim-cycles (0 = off). Part of
+    #: the cache key: windowed cells carry extra Series metrics in their
+    #: snapshots, so they must never replay from unwindowed entries.
+    window: int = 0
 
     @property
     def has_faults(self) -> bool:
@@ -118,6 +122,7 @@ def spec_for(
 
     overrides.setdefault("core", getattr(config, "core", "object"))
     overrides["core"] = normalize_core(overrides["core"])
+    overrides.setdefault("window", int(getattr(config, "window", 0)))
     return CellSpec(
         design=design,
         scheme=make_scheme(scheme).name,
@@ -211,6 +216,7 @@ def _build_system(spec: CellSpec) -> NetworkedCacheSystem:
         router_config=router_config,
         spike_queue_entries=spec.spike_queue_entries,
         early_miss_detection=spec.early_miss_detection,
+        window=spec.window,
     )
     if spec.spike_wire_scale is not None:
         _rebuild_uniform_halo(system, spec.spike_wire_scale)

@@ -138,6 +138,7 @@ class ArrayNetwork:
         topology: Topology,
         routing: RouteComputer | None = None,
         router_config: RouterConfig | None = None,
+        window: int = 0,
     ) -> None:
         if not HAVE_NUMPY:
             raise SimulationError(
@@ -203,6 +204,17 @@ class ArrayNetwork:
         #: Routers currently buffering at least one flit.
         self._active: set[int] = set()
         self._sink = _trace.current_sink()
+        #: High-water packet depth of each router's inject queue.
+        self._inject_depth_hw: dict[int, int] = {}
+        #: Windowed metric series keyed by sim-cycle windows; None when
+        #: off (same names/windows as the object core via make_noc_series).
+        self.window = int(window)
+        if self.window > 0:
+            from repro.noc.network import make_noc_series
+
+            self._series = make_noc_series(self.window)
+        else:
+            self._series = None
 
     # -- static geometry ----------------------------------------------------
 
@@ -299,6 +311,17 @@ class ArrayNetwork:
 
         # Flat mutable state: one slot per global VC / credit channel.
         self._credit: array[int] = array("i", [depth] * (chans * vcs))
+        #: Cycles a buffered body/tail flit sat blocked on downstream
+        #: credit, per (channel, vc) -- mirrors Router.credit_stalls.
+        self._credit_stall: array[int] = array("q", bytes(8 * chans * vcs))
+        #: Flits placed on each wire, per channel id -- per-link
+        #: utilization (mirrors Network._link_flits).
+        self._link_flits: array[int] = array("q", bytes(8 * chans))
+        #: Replication-blocked cycles per router (the scalar total stays
+        #: authoritative for the summed noc.router counter).
+        self._repl_blocked: array[int] = array(
+            "q", bytes(8 * len(self._nodes))
+        )
         self._vc_len: array[int] = array("i", bytes(4 * units * vcs))
         self._vc_head: array[int] = array("i", bytes(4 * units * vcs))
         self._vc_active: array[int] = array("q", [-1] * (units * vcs))
@@ -394,6 +417,8 @@ class ArrayNetwork:
             queue = deque()
             self._inject_queues[r] = queue
         queue.append(row)
+        if len(queue) > self._inject_depth_hw.get(r, 0):
+            self._inject_depth_hw[r] = len(queue)
         self.stats.packets_injected += 1
         if self._sink.enabled:
             self._sink.instant(
@@ -624,6 +649,60 @@ class ArrayNetwork:
         )
         occupancy = registry.gauge("noc.buffer.max_occupancy")
         occupancy.update_max(max(self._vc_max_occ, default=0))
+        self._publish_spatial(registry)
+
+    def _publish_spatial(self, registry: Any) -> None:
+        """Emit the per-(router, port, vc) metrics bit-identically to the
+        object core's ``Router._publish_spatial`` / network-level block."""
+        from repro.noc.network import publish_noc_series
+
+        vcs = self._vcs
+        nodes = self._nodes
+        for r, node in enumerate(nodes):
+            if self._repl_blocked[r]:
+                registry.counter(
+                    f"noc.router.replication_blocked.{node}"
+                ).inc(self._repl_blocked[r])
+            for p in range(self._inject_local[r] + 1):
+                port: Any = (
+                    INJECT
+                    if p == self._inject_local[r]
+                    else nodes[self._in_nodes[r][p]]
+                )
+                base = (self._unit_base[r] + p) * vcs
+                for vc in range(vcs):
+                    occ = self._vc_max_occ[base + vc]
+                    if occ:
+                        registry.gauge(
+                            f"noc.vc.max_occupancy.{node}.{port}.vc{vc}"
+                        ).update_max(occ)
+            for out_local, dst in enumerate(self._out_nodes[r]):
+                chan = self._chan_base[r] + out_local
+                out_port = nodes[dst]
+                for vc in range(vcs):
+                    stalls = self._credit_stall[chan * vcs + vc]
+                    if stalls:
+                        registry.counter(
+                            "noc.vc.credit_stall_cycles."
+                            f"{node}->{out_port}.vc{vc}"
+                        ).inc(stalls)
+        for r, node in enumerate(nodes):
+            for out_local, dst in enumerate(self._out_nodes[r]):
+                count = self._link_flits[self._chan_base[r] + out_local]
+                if count:
+                    registry.counter(
+                        f"noc.link.flits.{node}->{nodes[dst]}"
+                    ).inc(count)
+        hub = getattr(self.topology, "core_attach", None)
+        hub_r = self._node_index.get(hub) if hub is not None else None
+        for r in self._inject_depth_hw:
+            depth = self._inject_depth_hw[r]
+            registry.gauge(
+                f"noc.inject_queue.max_depth.{nodes[r]}"
+            ).update_max(depth)
+            if r == hub_r:
+                registry.gauge("noc.hub.issue_queue_depth").update_max(depth)
+        publish_noc_series(registry, self._series)
 
     # -- internals ----------------------------------------------------------
 
@@ -776,6 +855,8 @@ class ArrayNetwork:
                     pool.eligible_at[flit] = cycle + self._hop_wait
                     self._push(r, gvc, flit)
                     self.stats.flits_injected += 1
+                    if self._series is not None:
+                        self._series["noc.series.flits_injected"].record(cycle)
                     progressed = True
                 if not flits:
                     del self._inject_progress[key]
@@ -803,6 +884,8 @@ class ArrayNetwork:
             )
             self._push(r, free, head)
             self.stats.flits_injected += 1
+            if self._series is not None:
+                self._series["noc.series.flits_injected"].record(cycle)
             if nflits > 1:
                 rest: deque[int] = deque()
                 for i in range(1, nflits):
@@ -864,6 +947,7 @@ class ArrayNetwork:
             slot = self._find_replication_vc(r, p, taken)
             if slot is None:
                 self.replication_blocked_cycles += 1
+                self._repl_blocked[r] += 1
                 return  # block: retry whole split next cycle
             borrowed.append((slot[0], slot[1], destinations))
             taken.append(slot[1])
@@ -987,6 +1071,7 @@ class ArrayNetwork:
             return None  # head has not been switched yet
         chan = self._chan_base[r] + out_local
         if self._credit[chan * self._vcs + out_vc] <= 0:
+            self._credit_stall[chan * self._vcs + out_vc] += 1
             return None
         return (p, out_local, out_vc, flit, gvc)
 
@@ -1080,8 +1165,13 @@ class ArrayNetwork:
     ) -> None:
         _, out_local, out_vc, flit, _ = forward
         if out_local == self._eject_local[r]:
+            if self._series is not None:
+                self._series["noc.series.flits_ejected"].record(cycle)
             self._eject(r, flit, cycle)
             return
+        self._link_flits[self._chan_base[r] + out_local] += 1
+        if self._series is not None:
+            self._series["noc.series.flits_forwarded"].record(cycle)
         arrival = cycle + self._wire_delay[r][out_local] + 1
         dst = self._out_nodes[r][out_local]
         entry = (dst, self._in_local[dst][r], out_vc, flit)
@@ -1122,6 +1212,13 @@ class ArrayNetwork:
                 hops=pool.hops[flit],
             )
             self.stats.deliveries.append(delivery)
+            if self._series is not None:
+                self._series["noc.series.packets_delivered"].record(
+                    delivery.delivered_at
+                )
+                self._series["noc.series.latency"].record(
+                    delivery.delivered_at, delivery.latency
+                )
             if self._sink.enabled:
                 self._sink.complete(
                     "packet", "noc.packet", delivery.injected_at,

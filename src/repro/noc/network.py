@@ -23,6 +23,7 @@ from repro.telemetry import trace as _trace
 
 if TYPE_CHECKING:
     from repro.noc.arraycore import ArrayNetwork
+    from repro.telemetry.registry import Series
 
 
 @dataclass
@@ -94,6 +95,7 @@ def make_network(
     routing: RouteComputer | None = None,
     router_config: RouterConfig | None = None,
     core: str | None = None,
+    window: int = 0,
 ) -> "Network | ArrayNetwork":
     """Build a flit-level network on the selected simulation core.
 
@@ -101,13 +103,42 @@ def make_network(
     :class:`Network`; ``core="array"`` returns the struct-of-arrays
     :class:`repro.noc.arraycore.ArrayNetwork`, which is bit-identical on
     healthy workloads but requires NumPy and supports neither checkers
-    nor fault controllers.
+    nor fault controllers. ``window`` > 0 enables windowed metric series
+    sampled every that many sim-cycles.
     """
     if normalize_core(core) == "array":
         from repro.noc.arraycore import ArrayNetwork
 
-        return ArrayNetwork(topology, routing, router_config)
-    return Network(topology, routing, router_config)
+        return ArrayNetwork(topology, routing, router_config, window=window)
+    return Network(topology, routing, router_config, window=window)
+
+
+def make_noc_series(window: int) -> dict[str, "Series"]:
+    """The windowed series both flit cores record, keyed by metric name.
+
+    Shared so the two cores cannot drift: same names, same windows, same
+    aggregations, same (fixed) latency edges.
+    """
+    from repro.telemetry.registry import LATENCY_SLO_EDGES, Series
+
+    return {
+        "noc.series.flits_injected": Series(window),
+        "noc.series.flits_forwarded": Series(window),
+        "noc.series.flits_ejected": Series(window),
+        "noc.series.packets_delivered": Series(window),
+        "noc.series.latency": Series(window, "hist", LATENCY_SLO_EDGES),
+    }
+
+
+def publish_noc_series(registry, series: dict[str, "Series"] | None) -> None:
+    """Merge a core's windowed series into *registry* (no-op when off)."""
+    if not series:
+        return
+    for name in sorted(series):
+        local = series[name]
+        registry.series(name, local.window, local.agg, local.edges).merge(
+            local.snapshot()
+        )
 
 
 class Network:
@@ -118,6 +149,7 @@ class Network:
         topology: Topology,
         routing: RouteComputer | None = None,
         router_config: RouterConfig | None = None,
+        window: int = 0,
     ) -> None:
         self.topology = topology
         self.routing = routing or routing_for(topology)
@@ -157,6 +189,14 @@ class Network:
         #: Trace sink captured at construction; the NullSink fast path
         #: reduces every per-flit event site to one attribute check.
         self._sink = _trace.current_sink()
+        #: Flits placed on each (src, dst) wire -- per-link utilization.
+        self._link_flits: dict[tuple[NodeId, NodeId], int] = {}
+        #: High-water packet depth of each router's inject queue.
+        self._inject_depth_hw: dict[NodeId, int] = {}
+        #: Windowed metric series keyed by sim-cycle windows; None when
+        #: off, so every recording site costs one identity test.
+        self.window = int(window)
+        self._series = make_noc_series(self.window) if self.window > 0 else None
 
     def set_trace_sink(self, sink) -> None:
         """Swap the flit-event trace sink (None = the null sink)."""
@@ -237,7 +277,10 @@ class Network:
                 callback(packet, packet.destinations, "rejected_at_injection")
             return
         packet.created_at = self.cycle
-        self._inject_queues[node].append(packet)
+        queue = self._inject_queues[node]
+        queue.append(packet)
+        if len(queue) > self._inject_depth_hw.get(node, 0):
+            self._inject_depth_hw[node] = len(queue)
         self.stats.packets_injected += 1
         if self._sink.enabled:
             self._sink.instant(
@@ -261,15 +304,23 @@ class Network:
             self.inject(packet, node)
         self._deliver_arrivals(cycle)
         self._inject_phase(cycle)
-        for router in self.routers.values():
-            router.replication_phase(cycle)
-        for node, router in self.routers.items():
-            for forward in router.switch_phase(cycle):
-                self._handle_forward(node, forward, cycle)
+        self._replication_phase(cycle)
+        self._switch_phase(cycle)
         for checker in self._checkers:
             checker.after_cycle(self, cycle)
         self.cycle += 1
         self.stats.cycles = self.cycle
+
+    def _replication_phase(self, cycle: int) -> None:
+        """Split multicast heads that need several output ports."""
+        for router in self.routers.values():
+            router.replication_phase(cycle)
+
+    def _switch_phase(self, cycle: int) -> None:
+        """Arbitrate every crossbar; route winners to links or ejection."""
+        for node, router in self.routers.items():
+            for forward in router.switch_phase(cycle):
+                self._handle_forward(node, forward, cycle)
 
     def run(self, cycles: int) -> None:
         for _ in range(cycles):
@@ -433,6 +484,8 @@ class Network:
                     flit.eligible_at = cycle + (self.router_config.hop_latency - 1)
                     vc.push(flit)
                     self.stats.flits_injected += 1
+                    if self._series is not None:
+                        self._series["noc.series.flits_injected"].record(cycle)
                     progressed = True
                 if not flits:
                     del self._inject_progress[key]
@@ -454,6 +507,8 @@ class Network:
             head.eligible_at = cycle + (self.router_config.hop_latency - 1)
             free.push(head)
             self.stats.flits_injected += 1
+            if self._series is not None:
+                self._series["noc.series.flits_injected"].record(cycle)
             if len(flits) > 1:
                 self._inject_progress[(node, packet.packet_id)] = deque(
                     (flit, free) for flit in flits[1:]
@@ -462,6 +517,8 @@ class Network:
     def _handle_forward(self, node: NodeId, forward, cycle: int) -> None:
         flit = forward.flit
         if forward.out_port == EJECT:
+            if self._series is not None:
+                self._series["noc.series.flits_ejected"].record(cycle)
             self._eject(node, flit, cycle)
             return
         if self._fault is not None:
@@ -469,6 +526,10 @@ class Network:
             if reason is not None:
                 self._drop_forward(node, forward, reason)
                 return
+        link = (node, forward.out_port)
+        self._link_flits[link] = self._link_flits.get(link, 0) + 1
+        if self._series is not None:
+            self._series["noc.series.flits_forwarded"].record(cycle)
         wire_delay = self.topology.channel(node, forward.out_port).wire_delay
         arrival = cycle + wire_delay + 1
         self._arrivals[arrival].append(
@@ -700,6 +761,13 @@ class Network:
                     hops=flit.hops,
                 )
                 self.stats.deliveries.append(delivery)
+                if self._series is not None:
+                    self._series["noc.series.packets_delivered"].record(
+                        delivery.delivered_at
+                    )
+                    self._series["noc.series.latency"].record(
+                        delivery.delivered_at, delivery.latency
+                    )
                 if self._sink.enabled:
                     self._sink.complete(
                         "packet", "noc.packet", delivery.injected_at,
@@ -738,6 +806,20 @@ class Network:
             )
         for node in sorted(self.routers, key=str):
             self.routers[node].publish_metrics(registry)
+        for link in sorted(self._link_flits, key=str):
+            src, dst = link
+            registry.counter(f"noc.link.flits.{src}->{dst}").inc(
+                self._link_flits[link]
+            )
+        hub = getattr(self.topology, "core_attach", None)
+        for node in sorted(self._inject_depth_hw, key=str):
+            depth = self._inject_depth_hw[node]
+            registry.gauge(f"noc.inject_queue.max_depth.{node}").update_max(
+                depth
+            )
+            if node == hub:
+                registry.gauge("noc.hub.issue_queue_depth").update_max(depth)
+        publish_noc_series(registry, self._series)
 
     def total_buffered_flits(self) -> int:
         return sum(router.buffered_flits() for router in self.routers.values())

@@ -98,6 +98,10 @@ class Router:
         #: Downstream router objects, wired by the Network (for VC status).
         self.downstream: dict[object, "Router"] = {}
 
+        #: Cycles a buffered body/tail flit sat blocked on downstream
+        #: credit, keyed by (out_port, out_vc) -- the spatial congestion
+        #: signal behind the ``noc.vc.credit_stall_cycles`` metrics.
+        self.credit_stalls: dict[tuple[object, int], int] = {}
         self._rr_in: dict[object, int] = {port: 0 for port in self.inputs}
         self._rr_out: dict[object, int] = {port: 0 for port in self.out_ports}
         #: Arbitration tie-break ranks, precomputed so the switch-allocation
@@ -284,6 +288,8 @@ class Router:
         if vc.out_port is None or vc.out_vc is None:
             return None  # head has not been switched yet
         if self.credits[(vc.out_port, vc.out_vc)] <= 0:
+            key = (vc.out_port, vc.out_vc)
+            self.credit_stalls[key] = self.credit_stalls.get(key, 0) + 1
             return None
         return _Forward(flit, vc.out_port, vc.out_vc)
 
@@ -407,6 +413,29 @@ class Router:
         for unit in self.inputs.values():
             for vc in unit:
                 occupancy.update_max(vc.max_occupancy)
+        self._publish_spatial(registry)
+
+    def _publish_spatial(self, registry) -> None:
+        """Per-(router, port, vc) congestion metrics (DESIGN.md §14).
+
+        Only nonzero entries are published so snapshots stay sparse on
+        large meshes; names embed the node/port/vc key.
+        """
+        node = self.node
+        if self.stats.replication_blocked_cycles:
+            registry.counter(
+                f"noc.router.replication_blocked.{node}"
+            ).inc(self.stats.replication_blocked_cycles)
+        for port in self.inputs:
+            for vc in self.inputs[port]:
+                if vc.max_occupancy:
+                    registry.gauge(
+                        f"noc.vc.max_occupancy.{node}.{port}.vc{vc.index}"
+                    ).update_max(vc.max_occupancy)
+        for (out_port, out_vc) in sorted(self.credit_stalls, key=str):
+            registry.counter(
+                f"noc.vc.credit_stall_cycles.{node}->{out_port}.vc{out_vc}"
+            ).inc(self.credit_stalls[(out_port, out_vc)])
 
     def occupied_vcs(self) -> int:
         """Number of input VCs currently holding or reserved by a packet."""

@@ -19,12 +19,17 @@ totals whether cells ran serially, in a worker pool, or from the cache.
 from repro.telemetry.provenance import provenance_block
 from repro.telemetry.registry import (
     CHAIN_DEPTH_EDGES,
+    LATENCY_SLO_EDGES,
+    SERIES_AGGS,
+    SPAN_CYCLE_EDGES,
     WAIT_CYCLE_EDGES,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    Series,
     global_registry,
+    quantiles_from_counts,
     reset_global_metrics,
 )
 from repro.telemetry.trace import (
@@ -53,12 +58,17 @@ def merge_run(result: object) -> None:
 
 __all__ = [
     "CHAIN_DEPTH_EDGES",
+    "LATENCY_SLO_EDGES",
+    "SERIES_AGGS",
+    "SPAN_CYCLE_EDGES",
     "WAIT_CYCLE_EDGES",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Series",
     "global_registry",
+    "quantiles_from_counts",
     "reset_global_metrics",
     "NULL_SINK",
     "TRACE_FORMATS",

@@ -142,9 +142,203 @@ class Histogram:
         self.total = 0
         self.count = 0
 
+    def quantile(self, q: float) -> float:
+        """Upper-edge estimate of the ``q`` quantile (see
+        :func:`quantiles_from_counts`)."""
+        return quantiles_from_counts(self.edges, self.counts, (q,))[
+            _quantile_key(q)
+        ]
+
+
+def _quantile_key(q: float) -> str:
+    """``0.95`` -> ``"p95"``; ``0.5`` -> ``"p50"``."""
+    scaled = q * 100
+    if scaled == int(scaled):
+        return f"p{int(scaled)}"
+    return f"p{scaled:g}".replace(".", "_")
+
+
+def quantiles_from_counts(
+    edges: tuple[float, ...] | list[float],
+    counts: list[int],
+    qs: tuple[float, ...] = (0.5, 0.95, 0.99),
+) -> dict[str, float]:
+    """Mergeable streaming quantiles from fixed-edge bucket counts.
+
+    Returns the smallest bucket upper edge whose cumulative count reaches
+    ``q * total`` -- a conservative (upper-bound) estimate that is exact
+    under merging because bucket counts sum exactly. Values landing in the
+    overflow bucket report the last edge. An empty histogram reports 0.
+    """
+    total = sum(counts)
+    out: dict[str, float] = {}
+    for q in qs:
+        key = _quantile_key(q)
+        if total == 0:
+            out[key] = 0.0
+            continue
+        target = q * total
+        cumulative = 0
+        value = float(edges[-1])
+        for i, count in enumerate(counts):
+            cumulative += count
+            if cumulative >= target:
+                value = float(edges[min(i, len(edges) - 1)])
+                break
+        out[key] = value
+    return out
+
+
+#: Aggregations a :class:`Series` supports per window.
+SERIES_AGGS = ("sum", "max", "hist")
+
+
+class Series:
+    """A windowed time series keyed by *sim-cycle* windows.
+
+    Samples are bucketed into fixed windows of ``window`` sim-cycles:
+    sample at cycle ``c`` lands in window ``c // window``. Aggregation
+    within a window is ``sum`` (counter-like), ``max`` (gauge-like), or
+    ``hist`` (fixed-edge bucket counts per window, for rolling
+    p50/p95/p99). All three merge associatively and commutatively --
+    windows are combined index-wise with the scalar merge rule -- so
+    serial, ``--jobs N``, and cache-replay sweeps produce byte-identical
+    merged series. ``window``, ``agg``, and (for ``hist``) ``edges`` are
+    part of the metric's identity, like histogram edges.
+
+    Windows must be keyed by sim-cycles, never wall-clock (the
+    ``tel-window-simtime`` lint rule enforces call sites).
+    """
+
+    __slots__ = ("window", "agg", "edges", "windows")
+
+    def __init__(
+        self,
+        window: int,
+        agg: str = "sum",
+        edges: tuple[float, ...] | None = None,
+    ) -> None:
+        if not isinstance(window, int) or window < 1:
+            raise TelemetryError(
+                f"series window must be a positive int, got {window!r}"
+            )
+        if agg not in SERIES_AGGS:
+            raise TelemetryError(
+                f"series agg must be one of {SERIES_AGGS}, got {agg!r}"
+            )
+        if (edges is not None) != (agg == "hist"):
+            raise TelemetryError(
+                "series edges are required for agg='hist' and forbidden "
+                f"otherwise (agg={agg!r}, edges={edges!r})"
+            )
+        if edges is not None and (
+            not edges
+            or list(edges) != sorted(edges)
+            or len(set(edges)) != len(edges)
+        ):
+            raise TelemetryError(
+                f"series edges must be strictly increasing, got {edges!r}"
+            )
+        self.window = window
+        self.agg = agg
+        self.edges = tuple(edges) if edges is not None else None
+        # window index -> float (sum/max) or bucket-count list (hist)
+        self.windows: dict[int, Any] = {}
+
+    def record(self, cycle: int, value: float = 1) -> None:
+        index = cycle // self.window
+        windows = self.windows
+        if self.agg == "hist":
+            edges = self.edges
+            assert edges is not None
+            counts = windows.get(index)
+            if counts is None:
+                counts = windows[index] = [0] * (len(edges) + 1)
+            for i, edge in enumerate(edges):
+                if value <= edge:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+        elif self.agg == "sum":
+            windows[index] = windows.get(index, 0) + value
+        else:  # max
+            current = windows.get(index)
+            if current is None or value > current:
+                windows[index] = value
+
+    def window_quantiles(
+        self, qs: tuple[float, ...] = (0.5, 0.95, 0.99)
+    ) -> list[tuple[int, dict[str, float]]]:
+        """Per-window quantiles for a ``hist`` series, sorted by index."""
+        if self.agg != "hist":
+            raise TelemetryError(
+                f"window_quantiles requires agg='hist', not {self.agg!r}"
+            )
+        assert self.edges is not None
+        return [
+            (index, quantiles_from_counts(self.edges, self.windows[index], qs))
+            for index in sorted(self.windows)
+        ]
+
+    def snapshot(self) -> Snapshot:
+        snap: Snapshot = {
+            "type": "series",
+            "window": self.window,
+            "agg": self.agg,
+            "windows": [
+                [index, self.windows[index]] for index in sorted(self.windows)
+            ],
+        }
+        if self.edges is not None:
+            snap["edges"] = list(self.edges)
+        return snap
+
+    def _check_identity(
+        self, window: int, agg: str, edges: tuple[float, ...] | None
+    ) -> None:
+        if (
+            window != self.window
+            or agg != self.agg
+            or (tuple(edges) if edges is not None else None) != self.edges
+        ):
+            raise TelemetryError(
+                "series identity mismatch: registered "
+                f"(window={self.window}, agg={self.agg!r}, "
+                f"edges={self.edges}), requested "
+                f"(window={window}, agg={agg!r}, edges={edges})"
+            )
+
+    def merge(self, other: Snapshot) -> None:
+        self._check_identity(
+            other["window"],
+            other["agg"],
+            tuple(other["edges"]) if "edges" in other else None,
+        )
+        windows = self.windows
+        if self.agg == "hist":
+            width = len(cast(tuple[float, ...], self.edges)) + 1
+            for index, counts in other["windows"]:
+                mine = windows.get(index)
+                if mine is None:
+                    mine = windows[index] = [0] * width
+                for i, count in enumerate(counts):
+                    mine[i] += count
+        elif self.agg == "sum":
+            for index, value in other["windows"]:
+                windows[index] = windows.get(index, 0) + value
+        else:  # max
+            for index, value in other["windows"]:
+                current = windows.get(index)
+                if current is None or value > current:
+                    windows[index] = value
+
+    def reset(self) -> None:
+        self.windows.clear()
+
 
 #: Any concrete metric a registry can hold.
-Metric = Counter | Gauge | Histogram
+Metric = Counter | Gauge | Histogram | Series
 
 
 class MetricsRegistry:
@@ -195,6 +389,20 @@ class MetricsRegistry:
             )
         return histogram
 
+    def series(
+        self,
+        name: str,
+        window: int,
+        agg: str = "sum",
+        edges: tuple[float, ...] | None = None,
+    ) -> Series:
+        series = cast(
+            Series,
+            self._get(name, Series, lambda: Series(window, agg, edges)),
+        )
+        series._check_identity(window, agg, edges)
+        return series
+
     # -- serialization and merging ---------------------------------------
 
     def snapshot(self) -> dict[str, Snapshot]:
@@ -220,6 +428,13 @@ class MetricsRegistry:
             kind = entry["type"]
             if kind == "histogram":
                 metric = self.histogram(name, tuple(entry["edges"]))
+            elif kind == "series":
+                metric = self.series(
+                    name,
+                    entry["window"],
+                    entry["agg"],
+                    tuple(entry["edges"]) if "edges" in entry else None,
+                )
             else:
                 try:
                     metric = makers[kind](name)
@@ -250,6 +465,19 @@ WAIT_CYCLE_EDGES = (0, 1, 2, 4, 8, 16, 32, 64, 128)
 #: Fixed bucket edges for fault recovery-latency histograms (extra cycles
 #: a message spent in timeout + backoff + retransmission before arriving).
 RECOVERY_LATENCY_EDGES = (0, 16, 32, 64, 128, 256, 512, 1024, 2048)
+
+#: Fixed bucket edges for rolling transaction-latency SLO series
+#: (p50/p95/p99 per window). Spans protocol-paced hits (~tens of cycles)
+#: through saturated chained misses; fixed so windows merge bucket-wise.
+LATENCY_SLO_EDGES = (
+    16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 1536,
+    2048, 3072,
+)
+
+#: Fixed bucket edges for per-transaction latency-breakdown leg
+#: histograms (injection-queueing / serialization / hop-traversal /
+#: bank-service / memory cycles).
+SPAN_CYCLE_EDGES = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 
 
 _global = MetricsRegistry()

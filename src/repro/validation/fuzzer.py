@@ -1,6 +1,6 @@
 """Seeded fuzzer: random geometries, traffic, and traces under checkers.
 
-``fuzz(n, seed)`` samples cases from five families:
+``fuzz(n, seed)`` samples cases from seven families:
 
 * **noc** -- a random mesh / simplified-mesh / halo geometry with random
   unicast and multicast packets at random injection cycles, driven to
@@ -25,7 +25,12 @@
   the object core and the struct-of-arrays core
   (:class:`repro.noc.arraycore.ArrayNetwork`), diffing normalized
   deliveries, stats, and telemetry counters bit-for-bit (a no-op
-  without NumPy).
+  without NumPy);
+* **telemetry** -- a noc-family geometry and traffic replayed on both
+  cores with a random windowed-series sample size, requiring the full
+  published registry snapshots (series windows, per-link flit counts,
+  per-VC occupancy, credit stalls) to be byte-identical across cores
+  and order-independent under merge.
 
 Every case is a plain dataclass whose ``repr`` round-trips, so a failing
 case shrinks (greedy delta-debugging over its packets / accesses /
@@ -144,6 +149,27 @@ class ArraycoreCase:
 
 
 @dataclass(frozen=True)
+class TelemetryCase:
+    """A random geometry + traffic with windowed series on both cores.
+
+    Runs the same traffic through the object core and (when NumPy is
+    present) the array core with a random ``--window`` size, publishes
+    each into a fresh registry, and requires the full snapshots --
+    windowed series, per-link counters, per-VC occupancy, credit
+    stalls -- to be byte-identical across cores and for the merge of
+    the per-core snapshots to be independent of merge order (the
+    telemetry triangle's associativity leg).
+    """
+
+    kind: str  # "mesh" | "simplified" | "halo"
+    cols: int
+    rows: int
+    window: int = 16
+    single_cycle: bool = True
+    packets: tuple = ()
+
+
+@dataclass(frozen=True)
 class FaultsCase:
     """A random geometry + sampled fault plan + traffic under recovery.
 
@@ -254,6 +280,18 @@ def _make_arraycore_case(rng: random.Random) -> ArraycoreCase:
     )
 
 
+def _make_telemetry_case(rng: random.Random) -> TelemetryCase:
+    base = _make_noc_case(rng)
+    return TelemetryCase(
+        kind=base.kind,
+        cols=base.cols,
+        rows=base.rows,
+        window=rng.choice((2, 4, 8, 16, 32, 64, 128)),
+        single_cycle=rng.random() < 0.7,
+        packets=base.packets,
+    )
+
+
 def _make_faults_case(rng: random.Random) -> FaultsCase:
     base = _make_noc_case(rng)
     # Rates stay modest: per-flit-traversal transients compound over
@@ -287,6 +325,12 @@ _ANALYSIS_TEMPLATES = (
      "import time\n\n\ndef {n}_stamp():\n    return time.time()\n"),
     ("det-wallclock", "repro.core.{n}",
      "from datetime import datetime\n\nSTARTED = datetime.now()\n"),
+    ("tel-window-simtime", "repro.experiments.{n}",
+     "import time\n\n\ndef {n}_sample(series):\n"
+     "    series.record(int(time.monotonic()), {v})\n"),
+    ("tel-window-simtime", "repro.perf.{n}",
+     "from time import perf_counter\n\n\ndef {n}_push(registry):\n"
+     "    registry.series('{n}', {v}).record(perf_counter())\n"),
     ("det-unseeded-random", "repro.workloads.{n}",
      "import random\n\n\ndef {n}_pick(items):\n"
      "    return random.choice(items[:{v}])\n"),
@@ -365,11 +409,12 @@ _FAMILY_MAKERS = {
     "faults": _make_faults_case,
     "analysis": _make_analysis_case,
     "arraycore": _make_arraycore_case,
+    "telemetry": _make_telemetry_case,
 }
 
 DEFAULT_FAMILIES = (
-    "noc", "cache", "faults", "analysis", "arraycore", "noc", "cache",
-    "oracle", "arraycore",
+    "noc", "cache", "faults", "analysis", "arraycore", "noc", "telemetry",
+    "cache", "oracle", "arraycore", "telemetry",
 )
 
 
@@ -502,6 +547,63 @@ def _run_arraycore_case(case: ArraycoreCase) -> None:
         )
 
 
+def _run_telemetry_case(case: TelemetryCase) -> None:
+    import json
+
+    from repro.config import RouterConfig
+    from repro.noc.arraycore import HAVE_NUMPY, ArrayNetwork
+    from repro.noc.network import Network
+    from repro.noc.packet import MessageType, Packet
+    from repro.telemetry.registry import MetricsRegistry
+
+    cores = [("object", Network)]
+    if HAVE_NUMPY:
+        cores.append(("array", ArrayNetwork))
+    snapshots = {}
+    for name, cls in cores:
+        topology = _build_topology(NocCase(case.kind, case.cols, case.rows))
+        network = cls(
+            topology,
+            router_config=RouterConfig(single_cycle=bool(case.single_cycle)),
+            window=case.window,
+        )
+        for spec in case.packets:
+            packet = Packet(
+                MessageType(spec.message), spec.source, tuple(spec.destinations)
+            )
+            network.schedule_injection(packet, at_cycle=spec.inject_cycle)
+        network.run_until_drained(max_cycles=20_000)
+        registry = MetricsRegistry()
+        network.publish_metrics(registry)
+        snapshots[name] = registry.snapshot()
+    if len(snapshots) == 2:
+        texts = {
+            name: json.dumps(snap, sort_keys=True)
+            for name, snap in snapshots.items()
+        }
+        if texts["object"] != texts["array"]:
+            diffs = sorted(
+                key
+                for key in set(snapshots["object"]) | set(snapshots["array"])
+                if snapshots["object"].get(key) != snapshots["array"].get(key)
+            )
+            raise ValidationError(
+                "windowed telemetry diverged between cores on: "
+                + ", ".join(diffs[:8])
+            )
+    forward, reverse = MetricsRegistry(), MetricsRegistry()
+    ordered = [snapshots[name] for name, _ in cores]
+    for snap in ordered:
+        forward.merge(snap)
+    for snap in reversed(ordered):
+        reverse.merge(snap)
+    if forward.snapshot() != reverse.snapshot():
+        raise ValidationError(
+            "telemetry merge is order-dependent: forward != reverse fold "
+            "of the per-core snapshots"
+        )
+
+
 def _make_policy(name: str):
     from repro.cache.replacement import PromotionPolicy, policy_by_name
 
@@ -598,6 +700,8 @@ def run_case(case) -> None:
         _run_faults_case(case)
     elif isinstance(case, ArraycoreCase):
         _run_arraycore_case(case)
+    elif isinstance(case, TelemetryCase):
+        _run_telemetry_case(case)
     elif isinstance(case, AnalysisCase):
         _run_analysis_case(case)
     else:
@@ -669,7 +773,7 @@ def shrink_case(case):
             if _fails(candidate):
                 return candidate
         return case
-    if isinstance(case, ArraycoreCase):
+    if isinstance(case, (ArraycoreCase, TelemetryCase)):
         packets = shrink_list(
             list(case.packets),
             lambda kept: _fails(replace(case, packets=tuple(kept))),
@@ -702,6 +806,7 @@ _CASE_IMPORTS = {
     FaultsCase: "FaultsCase, PacketSpec",
     AnalysisCase: "AnalysisCase",
     ArraycoreCase: "ArraycoreCase, PacketSpec",
+    TelemetryCase: "TelemetryCase, PacketSpec",
 }
 
 

@@ -373,6 +373,44 @@ FIXTURES = [
         "    return time.time()"
         "  # repro: allow[tel-wallclock-payload] -- fixture justification\n",
     ),
+    Fixture(
+        # Monotonic clocks are fine in orchestration for wall-cost
+        # metadata, but never as a metric sample: a host-time window
+        # index shears the serial == --jobs N == replay merge.
+        "tel-window-simtime", "telemetry", "positive",
+        "repro.experiments.demo",
+        "import time\n\n\ndef sample(series):\n"
+        "    series.record(time.perf_counter())\n",
+    ),
+    Fixture(
+        "tel-window-simtime", "telemetry", "positive",
+        "repro.perf.demo",
+        "from time import monotonic\n\n\ndef sample(registry, value):\n"
+        "    registry.series('demo', 16).record(int(monotonic()), value)\n",
+    ),
+    Fixture(
+        "tel-window-simtime", "telemetry", "negative",
+        "repro.experiments.demo",
+        "def sample(series, cycle, value):\n"
+        "    series.record(cycle, value)\n",
+    ),
+    Fixture(
+        # Timing *around* a record call is fine; only host time flowing
+        # into the sample arguments is a violation.
+        "tel-window-simtime", "telemetry", "negative",
+        "repro.experiments.demo",
+        "import time\n\n\ndef sample(series, cycle):\n"
+        "    started = time.perf_counter()\n"
+        "    series.record(cycle)\n"
+        "    return time.perf_counter() - started\n",
+    ),
+    Fixture(
+        "tel-window-simtime", "telemetry", "suppressed",
+        "repro.experiments.demo",
+        "import time\n\n\ndef sample(series):\n"
+        "    series.record(int(time.monotonic()))"
+        "  # repro: allow[tel-window-simtime] -- fixture justification\n",
+    ),
     # -- exception discipline -------------------------------------------------
     Fixture(
         "exc-bare", "exceptions", "positive", "repro.experiments.demo",

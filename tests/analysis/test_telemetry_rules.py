@@ -19,6 +19,7 @@ def test_family_has_all_three_kinds_per_rule():
         kinds_by_rule.setdefault(fixture.rule, set()).add(fixture.kind)
     assert set(kinds_by_rule) == {
         "tel-registry-only", "tel-sink-only", "tel-wallclock-payload",
+        "tel-window-simtime",
     }
     for rule, kinds in kinds_by_rule.items():
         assert kinds == {"positive", "negative", "suppressed"}, rule

@@ -146,6 +146,57 @@ class TestTelemetryIntegration:
         assert serial
         assert serial == parallel == replayed
 
+    def test_windowed_series_survive_the_triangle(self, tmp_path):
+        """Series honor the same merge contract as every other metric: a
+        windowed sweep's ``cache.series.*``/``noc.series.*`` payloads are
+        byte-identical across serial, ``--jobs 2``, and warm-cache
+        replay -- window maps merge per-index, order-independently."""
+        import json
+
+        from repro.telemetry import global_registry, reset_global_metrics
+
+        config = dataclasses.replace(ENGINE_CONFIG, window=50)
+        specs = [
+            spec_for(design, "multicast+fast_lru", benchmark, config)
+            for design in ("A", "F")
+            for benchmark in ("art", "twolf")
+        ]
+        cache = ResultCache(directory=tmp_path)
+
+        def merged(jobs: int) -> dict:
+            reset_global_metrics()
+            run_cells(specs, jobs=jobs, cache=cache)
+            snapshot = global_registry().snapshot()
+            reset_global_metrics()
+            return snapshot
+
+        serial = merged(jobs=1)
+        reset_memo()
+        parallel = merged(jobs=2)
+        reset_memo()
+        replayed = merged(jobs=1)  # every cell served from the warm cache
+        assert cache.stats.hits >= len(specs)
+        series = {
+            name: snap for name, snap in serial.items()
+            if snap["type"] == "series"
+        }
+        assert "cache.series.accesses" in series
+        assert all(snap["window"] == 50 for snap in series.values())
+        encode = lambda snap: json.dumps(snap, sort_keys=True)  # noqa: E731
+        assert encode(serial) == encode(parallel) == encode(replayed)
+
+    def test_window_is_part_of_the_cache_key(self):
+        """A windowed cell must never replay from an unwindowed entry
+        (the snapshots differ), so ``window`` lives on the CellSpec."""
+        windowed = spec_for(
+            "A", "multicast+fast_lru", "art",
+            dataclasses.replace(ENGINE_CONFIG, window=50),
+        )
+        plain = spec_for("A", "multicast+fast_lru", "art", ENGINE_CONFIG)
+        assert windowed != plain
+        assert windowed.key() != plain.key()
+        assert dict(windowed.key()[1:])["window"] == 50
+
     def test_results_carry_metrics_and_provenance(self):
         result = run_cells([_sweep_specs()[0]], jobs=1, cache=None)[0]
         assert result.metrics

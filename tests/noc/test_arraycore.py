@@ -238,3 +238,68 @@ class TestSoAPlumbing:
         monkeypatch.setattr(arraycore, "HAVE_NUMPY", False)
         with pytest.raises(SimulationError, match="numpy"):
             ArrayNetwork(MeshTopology(2, 2))
+
+
+@needs_numpy
+class TestObservabilityEquivalence:
+    """Windowed series and spatial congestion counters are part of the
+    bit-equivalence contract: publishing each core into a fresh registry
+    must produce byte-identical snapshots -- same per-link counters, same
+    per-VC high-waters, same series windows -- not merely matching
+    aggregate digests."""
+
+    def _snapshots(self, make_topology, packets, window, single_cycle=True):
+        from repro.telemetry import MetricsRegistry
+
+        snapshots = {}
+        for name, cls in (("object", Network), ("array", ArrayNetwork)):
+            net = cls(
+                make_topology(),
+                router_config=RouterConfig(single_cycle=single_cycle),
+                window=window,
+            )
+            for message, source, destinations, at_cycle in packets:
+                net.schedule_injection(
+                    Packet(message, source, destinations), at_cycle=at_cycle
+                )
+            net.run_until_drained(max_cycles=50_000)
+            registry = MetricsRegistry()
+            net.publish_metrics(registry)
+            snapshots[name] = registry.snapshot()
+        return snapshots
+
+    @pytest.mark.parametrize("window", [8, 64])
+    def test_mesh_windowed_snapshots_identical(self, window):
+        nodes = [(x, y) for x in range(5) for y in range(4)]
+        packets = _unicast_stream(nodes, 11, count=40, spacing=2)
+        snaps = self._snapshots(
+            lambda: MeshTopology(5, 4), packets, window=window
+        )
+        assert snaps["object"] == snaps["array"]
+        series = {
+            name: snap for name, snap in snaps["object"].items()
+            if snap["type"] == "series"
+        }
+        assert series
+        assert all(snap["window"] == window for snap in series.values())
+        assert any(snap["windows"] for snap in series.values())
+        assert any(
+            name.startswith("noc.link.flits.") for name in snaps["object"]
+        )
+
+    def test_halo_multicast_snapshots_identical(self):
+        topology = HaloTopology(4, 4)
+        nodes = sorted(topology.nodes, key=str)
+        rng = random.Random(13)
+        packets = _unicast_stream(nodes, 13, count=12, spacing=4)
+        spikes = [n for n in nodes if n[0] == "spike"]
+        for i in range(6):
+            destinations = tuple(rng.sample(spikes, 3))
+            packets.append(
+                (MessageType.MISS_NOTIFY, ("hub",), destinations, i * 5)
+            )
+        snaps = self._snapshots(
+            lambda: HaloTopology(4, 4), packets, window=16
+        )
+        assert snaps["object"] == snaps["array"]
+        assert "noc.hub.issue_queue_depth" in snaps["object"]

@@ -96,3 +96,56 @@ class TestNullSinkFastPath:
         disabled_s = min(timeit.repeat(run_once, repeat=3, number=1))
         traced_s = min(timeit.repeat(traced_once, repeat=3, number=1))
         assert disabled_s < traced_s * 1.10
+
+
+class TestWindowedSeriesOffPath:
+    def test_window_off_records_no_series(self):
+        """window=0 must leave zero Series footprint in the snapshot.
+
+        The off path is the default for every sweep cell, so windowed
+        telemetry being "off" must mean structurally absent -- no
+        ``cache.series.*`` metrics, no per-access record() calls -- not
+        merely empty.
+        """
+        from repro.core.system import NetworkedCacheSystem
+        from repro.workloads import TraceGenerator, profile_by_name
+
+        profile = profile_by_name("art")
+        trace, warmup = TraceGenerator(profile, seed=3).generate_with_warmup(
+            measure=200
+        )
+        system = NetworkedCacheSystem(design="A", scheme="multicast+fast_lru")
+        assert system._series is None
+        result = system.run(trace, profile, warmup=warmup)
+        assert not [
+            key for key in result.metrics if key.startswith("cache.series.")
+        ]
+
+    def test_windowed_run_overhead_is_bounded(self):
+        """window=N stays cheap: a few dict ops per measured access.
+
+        Mirrors ``bench_windowed`` in benchmarks/bench_runtime.py (the
+        precise ratio lands in BENCH_runtime.json as
+        ``windowed_telemetry``); the 1.5x tripwire only catches a
+        category error like per-access snapshotting.
+        """
+        from repro.core.system import NetworkedCacheSystem
+        from repro.workloads import TraceGenerator, profile_by_name
+
+        profile = profile_by_name("art")
+        trace, warmup = TraceGenerator(profile, seed=3).generate_with_warmup(
+            measure=300
+        )
+
+        def run_once(window=0):
+            system = NetworkedCacheSystem(
+                design="A", scheme="multicast+fast_lru", window=window
+            )
+            system.run(trace, profile, warmup=warmup)
+
+        run_once()  # warm caches/imports outside the timed region
+        plain_s = min(timeit.repeat(run_once, repeat=3, number=1))
+        windowed_s = min(
+            timeit.repeat(lambda: run_once(window=64), repeat=3, number=1)
+        )
+        assert windowed_s < plain_s * 1.5 + 1e-3

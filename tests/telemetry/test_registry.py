@@ -15,7 +15,9 @@ from repro.telemetry import (
     CHAIN_DEPTH_EDGES,
     Histogram,
     MetricsRegistry,
+    Series,
     global_registry,
+    quantiles_from_counts,
     reset_global_metrics,
 )
 
@@ -89,6 +91,136 @@ class TestHistogram:
         # The figure drivers and the merge path both depend on these
         # exact edges; changing them silently breaks series comparability.
         assert CHAIN_DEPTH_EDGES == (0, 1, 2, 3, 4, 6, 8, 12, 16)
+
+
+class TestSeries:
+    def test_samples_bucket_by_sim_cycle_window(self):
+        series = Series(10)
+        for cycle in (0, 9, 10, 25):
+            series.record(cycle, 2)
+        # cycle // window: {0, 9} -> 0, 10 -> 1, 25 -> 2
+        assert series.windows == {0: 4, 1: 2, 2: 2}
+
+    def test_max_agg_keeps_window_high_water(self):
+        series = Series(4, "max")
+        for cycle, value in ((0, 3), (1, 7), (2, 5), (4, 1)):
+            series.record(cycle, value)
+        assert series.windows == {0: 7, 1: 1}
+
+    def test_hist_agg_counts_per_window_bucket(self):
+        series = Series(8, "hist", edges=(1, 2, 4))
+        for value in (1, 2, 3, 100):
+            series.record(0, value)
+        series.record(8, 4)
+        # per-window buckets: <=1, <=2, <=4, overflow
+        assert series.windows == {0: [1, 1, 1, 1], 1: [0, 0, 1, 0]}
+        quantiles = dict(series.window_quantiles())
+        assert quantiles[0]["p50"] == 2.0
+        assert quantiles[1] == {"p50": 4.0, "p95": 4.0, "p99": 4.0}
+
+    def test_identity_is_validated(self):
+        with pytest.raises(TelemetryError, match="positive int"):
+            Series(0)
+        with pytest.raises(TelemetryError, match="agg must be one of"):
+            Series(8, "mean")
+        with pytest.raises(TelemetryError, match="edges are required"):
+            Series(8, "hist")
+        with pytest.raises(TelemetryError, match="edges are required"):
+            Series(8, "sum", edges=(1, 2))
+        with pytest.raises(TelemetryError, match="strictly increasing"):
+            Series(8, "hist", edges=(2, 1))
+        with pytest.raises(TelemetryError, match="window_quantiles"):
+            Series(8).window_quantiles()
+
+    def test_registry_enforces_series_identity(self):
+        registry = MetricsRegistry()
+        first = registry.series("s", 16)
+        assert registry.series("s", 16) is first
+        with pytest.raises(TelemetryError, match="identity mismatch"):
+            registry.series("s", 32)
+        with pytest.raises(TelemetryError, match="identity mismatch"):
+            registry.series("s", 16, "max")
+
+    def test_snapshot_shape_and_sorted_windows(self):
+        series = Series(10)
+        series.record(25)
+        series.record(3)
+        snap = series.snapshot()
+        assert snap == {
+            "type": "series", "window": 10, "agg": "sum",
+            "windows": [[0, 1], [2, 1]],
+        }
+        assert "edges" not in snap
+        assert "edges" in Series(10, "hist", edges=(1, 2)).snapshot()
+
+    def test_merge_is_order_independent_for_every_agg(self):
+        def sample(window_index: int, agg: str) -> Series:
+            edges = (1, 4) if agg == "hist" else None
+            series = Series(8, agg, edges)
+            for offset, value in ((0, 2), (3, 5)):
+                series.record(window_index * 8 + offset, value)
+            return series
+
+        for agg in ("sum", "max", "hist"):
+            parts = [sample(index, agg).snapshot() for index in (0, 0, 1)]
+
+            def fold(order, agg=agg):
+                edges = (1, 4) if agg == "hist" else None
+                merged = Series(8, agg, edges)
+                for part in order:
+                    merged.merge(part)
+                return merged.snapshot()
+
+            forward = fold(parts)
+            assert forward == fold(reversed(parts)), agg
+            indexes = [index for index, _ in forward["windows"]]
+            assert indexes == [0, 1], agg
+
+    def test_merge_rejects_identity_mismatch(self):
+        series = Series(8)
+        with pytest.raises(TelemetryError, match="identity mismatch"):
+            series.merge(Series(16).snapshot())
+
+    def test_registry_merge_reconstructs_series(self):
+        source = MetricsRegistry()
+        source.series("s.hist", 8, "hist", (1, 2)).record(0, 2)
+        source.series("s.sum", 8).record(9, 3)
+        target = MetricsRegistry()
+        target.merge(source.snapshot())
+        target.merge(source.snapshot())
+        snap = target.snapshot()
+        assert snap["s.sum"]["windows"] == [[1, 6]]
+        assert snap["s.hist"]["windows"] == [[0, [0, 2, 0]]]
+
+    def test_reset_clears_windows_keeps_identity(self):
+        registry = MetricsRegistry()
+        registry.series("s", 8, "hist", (1, 2)).record(0, 1)
+        registry.reset()
+        snap = registry.snapshot()["s"]
+        assert snap["windows"] == []
+        assert snap["edges"] == [1, 2]
+
+
+class TestQuantilesFromCounts:
+    def test_upper_edge_estimate(self):
+        # counts per bucket: <=1: 5, <=2: 4, <=4: 1, overflow: 0
+        quantiles = quantiles_from_counts((1, 2, 4), [5, 4, 1, 0])
+        assert quantiles == {"p50": 1.0, "p95": 4.0, "p99": 4.0}
+
+    def test_overflow_reports_last_edge(self):
+        assert quantiles_from_counts((1, 2), [0, 0, 3])["p50"] == 2.0
+
+    def test_empty_reports_zero(self):
+        assert quantiles_from_counts((1, 2), [0, 0, 0]) == {
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_merging_counts_preserves_quantiles(self):
+        # Exactness under merging: quantiles of summed counts equal the
+        # quantiles of the union stream, by construction.
+        a, b = [3, 1, 0, 0], [0, 4, 2, 0]
+        union = [x + y for x, y in zip(a, b)]
+        assert quantiles_from_counts((1, 2, 4), union)["p50"] == 2.0
 
 
 class TestRegistrySnapshotMerge:

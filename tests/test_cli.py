@@ -126,6 +126,115 @@ class TestTelemetryFlags:
         assert current_sink() is NULL_SINK
 
 
+class TestObservabilityCLI:
+    """--window series, --metrics-out/--trace beyond `run`, and the
+    `repro report <metrics.json>` explorer."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_telemetry(self):
+        from repro.experiments.runner import reset_memo
+        from repro.telemetry import reset_global_metrics
+
+        reset_memo()
+        reset_global_metrics()
+        yield
+        reset_memo()
+        reset_global_metrics()
+
+    def _windowed_metrics(self, tmp_path):
+        target = tmp_path / "metrics.json"
+        assert main(["run", "--benchmark", "art", "--measure", "400",
+                     "--window", "32", "--no-cache",
+                     "--metrics-out", str(target)]) == 0
+        return target
+
+    def test_window_flag_emits_series_metrics(self, capsys, tmp_path):
+        import json
+
+        target = self._windowed_metrics(tmp_path)
+        metrics = json.loads(target.read_text())["metrics"]
+        series = {
+            name: snap for name, snap in metrics.items()
+            if snap["type"] == "series"
+        }
+        assert "cache.series.accesses" in series
+        assert series["cache.series.accesses"]["window"] == 32
+        assert series["cache.series.accesses"]["windows"]
+        assert series["cache.series.latency"]["agg"] == "hist"
+
+    def test_faults_metrics_out_and_trace(self, capsys, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "faults.json"
+        trace_path = tmp_path / "faults.jsonl"
+        assert main(["faults", "--rate", "1e-3", "--accesses", "200",
+                     "--designs", "A", "--seed", "7",
+                     "--metrics-out", str(metrics_path),
+                     "--trace", str(trace_path)]) == 0
+        payload = json.loads(metrics_path.read_text())
+        assert any(
+            name.startswith("faults.") for name in payload["metrics"]
+        )
+        assert payload["provenance"]["source_fingerprint"]
+        lines = trace_path.read_text().splitlines()
+        assert lines
+        json.loads(lines[0])
+
+    def test_validate_metrics_out(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "validate.json"
+        assert main(["validate", "--fuzz", "3", "--seed", "5",
+                     "--metrics-out", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["provenance"]["source_fingerprint"]
+
+    def test_validate_profile_phases(self, capsys):
+        assert main(["validate", "--profile-phases", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "phase profile (object core" in out
+        for phase in ("arrivals", "inject", "replication", "switch"):
+            assert phase in out
+
+    def test_report_explorer_text(self, capsys, tmp_path):
+        target = self._windowed_metrics(tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "Windowed series" in out
+        assert "Congestion heatmap" in out
+        assert "Latency breakdown (cycles)" in out
+        assert "cache.series.accesses" in out
+        assert "hottest links:" in out
+        assert "hop_traversal" in out
+
+    def test_report_explorer_json(self, capsys, tmp_path):
+        import json
+
+        target = self._windowed_metrics(tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(target), "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert set(report) == {"series", "heatmap", "breakdown"}
+        assert report["heatmap"]["links"]
+        assert report["breakdown"]["hop_traversal"]["count"] > 0
+
+    def test_report_explorer_accepts_directory_and_gates_png(
+        self, capsys, tmp_path
+    ):
+        self._windowed_metrics(tmp_path)
+        png = tmp_path / "heat.png"
+        capsys.readouterr()
+        assert main(["report", str(tmp_path), "--png", str(png)]) == 0
+        out = capsys.readouterr().out
+        assert "Congestion heatmap" in out
+        # matplotlib is optional: either the PNG landed or the explorer
+        # said exactly why it did not.
+        assert png.exists() or (
+            f"matplotlib not installed; skipped PNG {png}" in out
+        )
+
+
 class TestExtensionCommands:
     def test_cmp(self, capsys):
         main(["cmp", "--cores", "1", "2", "--designs", "A",
