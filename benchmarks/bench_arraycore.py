@@ -2,16 +2,24 @@
 
 Standalone (not collected by pytest)::
 
-    PYTHONPATH=src python benchmarks/bench_arraycore.py [--packets N]
+    PYTHONPATH=src python benchmarks/bench_arraycore.py \
+        [--packets N] [--vector {auto,on,off}] [--cell NAME] [--json-out P]
 
 Runs identical flit workloads through the object-model ``Network`` and
 the struct-of-arrays ``ArrayNetwork`` (``repro.noc.arraycore``), checks
 the two cores produce bit-identical observables -- cycle counts,
 normalized delivery records, and every telemetry counter -- then reports
-the per-cell speedup. Human-readable output goes to
-``benchmarks/out/arraycore.txt``; the machine-readable ``array_core``
-section is merged into ``BENCH_runtime.json`` at the repo root alongside
-the engine-runtime numbers.
+the per-cell speedup plus a per-phase wall-time attribution from
+``repro.perf.profiler`` (arrivals / inject / replication / switch) for
+both cores. ``--vector`` selects the array core's sweep implementation
+(``auto`` gates the whole-mesh NumPy passes on occupancy, ``on`` forces
+them, ``off`` runs the scalar fallback); ``--cell`` restricts the run to
+one cell, and ``--json-out`` writes the section to a standalone file
+without touching the repo-level records -- together they form the CI
+smoke that fails whenever a downsized saturated cell stops being
+bit-identical. Without those flags, human-readable output goes to
+``benchmarks/out/arraycore.txt`` and the machine-readable ``array_core``
+section is merged into ``BENCH_runtime.json`` at the repo root.
 """
 
 from __future__ import annotations
@@ -29,10 +37,14 @@ from repro.config import RouterConfig
 from repro.noc import MeshTopology, MessageType, Network, Packet
 from repro.noc.arraycore import HAVE_NUMPY, ArrayNetwork
 from repro.noc.topology import SimplifiedMeshTopology
+from repro.perf import profiler
 from repro.validation.fuzzer import _core_digest
 
 ROOT = pathlib.Path(__file__).resolve().parents[1]
 OUT_DIR = pathlib.Path(__file__).resolve().parent / "out"
+
+#: --vector choice -> ArrayNetwork(vectorize=...) argument.
+VECTOR_MODES = {"auto": None, "on": True, "off": False}
 
 
 def _mesh_workload(packets: int, spacing: int) -> list:
@@ -70,23 +82,48 @@ def _multicast_workload(rounds: int, cols: int = 8, rows: int = 6) -> list:
     return specs
 
 
-def _run(network, specs: list) -> tuple[float, tuple]:
+def _inject(network, specs: list) -> None:
     for message, source, destinations, at_cycle in specs:
         packet = Packet(message, source, destinations)
         network.schedule_injection(packet, at_cycle=at_cycle)
+
+
+def _run(make_network, specs: list, core: str) -> tuple[float, tuple, dict]:
+    """Time an unprofiled run, then re-run profiled for attribution.
+
+    The timing run carries zero wrapper overhead, so the speedup table
+    stays honest; the second run only feeds the per-phase breakdown.
+    """
+    network = make_network()
+    _inject(network, specs)
     t0 = time.perf_counter()
     network.run_until_drained(max_cycles=200_000)
     elapsed = time.perf_counter() - t0
-    return elapsed, _core_digest(network)
+    digest = _core_digest(network)
+
+    network = make_network()
+    profile = profiler.attach(network, core=core)
+    _inject(network, specs)
+    network.run_until_drained(max_cycles=200_000)
+    profiler.detach(network)
+    phases = {
+        phase: round(profile.seconds[phase], 4) for phase in profiler.PHASES
+    }
+    return elapsed, digest, phases
 
 
-def _bench_cell(name: str, make_topology, specs: list) -> dict:
+def _bench_cell(name: str, make_topology, specs: list, vector: str) -> dict:
     config = RouterConfig(single_cycle=True)
-    object_s, object_digest = _run(
-        Network(make_topology(), router_config=config), specs
+    vectorize = VECTOR_MODES[vector]
+    object_s, object_digest, object_phases = _run(
+        lambda: Network(make_topology(), router_config=config),
+        specs, core="object",
     )
-    array_s, array_digest = _run(
-        ArrayNetwork(make_topology(), router_config=config), specs
+    array_s, array_digest, array_phases = _run(
+        lambda: ArrayNetwork(
+            make_topology(), router_config=config, vectorize=vectorize
+        ),
+        specs, core="array",
     )
     identical = object_digest == array_digest
     assert identical, f"{name}: array core diverged from object core"
@@ -99,42 +136,59 @@ def _bench_cell(name: str, make_topology, specs: list) -> dict:
         "array_s": round(array_s, 4),
         "speedup": round(object_s / array_s, 1),
         "bit_identical": identical,
+        "vector": vector,
+        "phases": {"object": object_phases, "array": array_phases},
     }
 
 
-def bench_array_core(packets: int) -> dict:
-    """Both reference cells; returns the ``array_core`` payload section."""
+def bench_array_core(
+    packets: int, vector: str = "auto", only_cell: str | None = None
+) -> dict:
+    """The reference cells; returns the ``array_core`` payload section."""
     cells = [
-        _bench_cell(
+        (
             "protocol_paced",
             lambda: MeshTopology(16, 16),
             _mesh_workload(max(packets // 4, 1), spacing=130),
         ),
-        _bench_cell(
+        (
             "mesh16_saturated",
             lambda: MeshTopology(16, 16),
             _mesh_workload(packets, spacing=2),
         ),
-        _bench_cell(
+        (
             "simplified_multicast",
             lambda: SimplifiedMeshTopology(8, 6),
             _multicast_workload(max(packets // 2, 1)),
         ),
     ]
+    if only_cell is not None:
+        names = [name for name, _, _ in cells]
+        if only_cell not in names:
+            raise SystemExit(
+                f"unknown cell {only_cell!r}; choose from {names}"
+            )
+        cells = [entry for entry in cells if entry[0] == only_cell]
+    results = [
+        _bench_cell(name, make_topology, specs, vector)
+        for name, make_topology, specs in cells
+    ]
     return {
         "packets": packets,
-        "cells": cells,
+        "vector": vector,
+        "cells": results,
         #: Headline number: the transaction-paced cell is how the engine
         #: actually exercises the flit core (sparse protocol legs).
-        "per_cell_speedup": cells[0]["speedup"],
-        "min_speedup": min(cell["speedup"] for cell in cells),
-        "bit_identical": all(cell["bit_identical"] for cell in cells),
+        "per_cell_speedup": results[0]["speedup"],
+        "min_speedup": min(cell["speedup"] for cell in results),
+        "bit_identical": all(cell["bit_identical"] for cell in results),
     }
 
 
 def render(section: dict) -> str:
     lines = [
-        "Array-core benchmark (object vs SoA wormhole core)",
+        "Array-core benchmark (object vs SoA wormhole core, "
+        f"vector={section['vector']})",
         "==================================================",
         f"{'cell':<22}  {'packets':>7}  {'cycles':>7}  "
         f"{'object':>8}  {'array':>8}  {'speedup':>7}",
@@ -145,6 +199,15 @@ def render(section: dict) -> str:
             f"{cell['object_s']:>7.3f}s  {cell['array_s']:>7.4f}s  "
             f"x{cell['speedup']:>6.1f}"
         )
+    lines.append("")
+    lines.append("per-phase wall-time attribution (profiled rerun, seconds):")
+    for cell in section["cells"]:
+        for core in ("object", "array"):
+            phases = cell["phases"][core]
+            breakdown = "  ".join(
+                f"{phase}={phases[phase]:.4f}" for phase in profiler.PHASES
+            )
+            lines.append(f"  {cell['cell']:<22} {core:<6} {breakdown}")
     lines.append("")
     lines.append(
         f"bit-identical across cores: {section['bit_identical']}, "
@@ -158,15 +221,32 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--packets", type=int, default=400,
                         help="unicast packets in the mesh cell (default 400)")
+    parser.add_argument("--vector", choices=sorted(VECTOR_MODES),
+                        default="auto",
+                        help="array-core sweeps: auto-gated, forced on, "
+                             "or scalar fallback (default auto)")
+    parser.add_argument("--cell", default=None,
+                        help="run only this cell (e.g. mesh16_saturated)")
+    parser.add_argument("--json-out", default=None,
+                        help="write the section to this file and leave "
+                             "BENCH_runtime.json / out/ untouched (CI smoke)")
     args = parser.parse_args(argv)
 
-    if not HAVE_NUMPY:
-        print("numpy unavailable: array core cannot run; skipping benchmark")
+    if args.vector == "on" and not HAVE_NUMPY:
+        print("numpy unavailable: cannot force vectorized sweeps; skipping")
         return 0
 
-    section = bench_array_core(args.packets)
+    section = bench_array_core(
+        args.packets, vector=args.vector, only_cell=args.cell
+    )
     text = render(section)
     print(text)
+
+    if args.json_out is not None:
+        pathlib.Path(args.json_out).write_text(
+            json.dumps(section, indent=2) + "\n", encoding="utf-8"
+        )
+        return 0 if section["bit_identical"] else 1
 
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / "arraycore.txt").write_text(text + "\n", encoding="utf-8")
@@ -179,7 +259,7 @@ def main(argv: list[str] | None = None) -> int:
     bench_path.write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )
-    return 0
+    return 0 if section["bit_identical"] else 1
 
 
 if __name__ == "__main__":

@@ -259,6 +259,7 @@ class UnorderedReduceRule(Rule):
     )
 
     _REDUCERS = ("sum",)
+    _QUAL_REDUCERS = frozenset({"math.fsum", "numpy.sum", "numpy.prod"})
 
     def check(self, info: ModuleInfo) -> Iterator[Finding]:
         if not in_scope(info.module, SIM_SCOPE):
@@ -272,8 +273,8 @@ class UnorderedReduceRule(Rule):
                 and func.id in self._REDUCERS
                 and func.id not in info.imports
             )
-            fsum = info.qualname(func) == "math.fsum"
-            if not named_reducer and not fsum:
+            qual_reducer = info.qualname(func) in self._QUAL_REDUCERS
+            if not named_reducer and not qual_reducer:
                 continue
             if _is_set_expression(node.args[0], info):
                 yield self.finding(
@@ -282,6 +283,67 @@ class UnorderedReduceRule(Rule):
                     "reduce a sorted sequence (or a list/tuple built in a "
                     "deterministic order) instead",
                 )
+
+
+#: numpy sort entry points whose default algorithm (introsort) is
+#: unstable: equal keys land in an algorithm-dependent order. A
+#: bit-identical simulation core may only sort with an explicit
+#: ``kind="stable"`` (or ``"mergesort"``, its alias) so every tie-break
+#: is part of the spec, not of the sort implementation.
+_NP_SORTS = frozenset({
+    "numpy.sort",
+    "numpy.argsort",
+    "numpy.ma.sort",
+    "numpy.ma.argsort",
+})
+
+
+@register
+class NumpyUnstableSortRule(Rule):
+    id = "det-np-unstable-sort"
+    family = "determinism"
+    summary = (
+        "no unstable numpy sorts in the simulation core: np.sort / "
+        "np.argsort (and the .argsort() method) default to introsort, "
+        'whose tie order is implementation-defined -- pass kind="stable"'
+    )
+
+    _STABLE_KINDS = ("stable", "mergesort")
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        if not in_scope(info.module, SIM_SCOPE):
+            return
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = info.qualname(node.func)
+            named = origin in _NP_SORTS
+            # The .argsort() method form: the receiver's type is not
+            # resolvable statically, but the name is numpy-specific
+            # (list.sort is stable and has no argsort).
+            method = (
+                origin is None
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "argsort"
+            )
+            if (named or method) and not self._stable_kind(node):
+                yield self.finding(
+                    info, node,
+                    "numpy's default sort kind is unstable, so equal keys "
+                    "land in implementation-defined order; pass "
+                    'kind="stable" (and make every tie-break explicit in '
+                    "the key) or sort in plain Python",
+                )
+
+    def _stable_kind(self, node: ast.Call) -> bool:
+        for keyword in node.keywords:
+            if keyword.arg == "kind":
+                value = keyword.value
+                return (
+                    isinstance(value, ast.Constant)
+                    and value.value in self._STABLE_KINDS
+                )
+        return False
 
 
 @register

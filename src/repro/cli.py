@@ -36,6 +36,7 @@ from repro.experiments import (
     table4_area,
 )
 from repro.experiments.common import BENCHMARK_NAMES, ExperimentConfig
+from repro.noc.network import CORES
 
 
 def _config(args: argparse.Namespace) -> ExperimentConfig:
@@ -364,11 +365,13 @@ def build_parser() -> argparse.ArgumentParser:
                        default="jsonl",
                        help="trace encoding: jsonl lines or a Chrome "
                             "trace_event file loadable in Perfetto")
-        p.add_argument("--core", choices=("object", "array"),
+        p.add_argument("--core", choices=CORES,
                        default="object",
                        help="flit-simulation core: the reference object "
-                            "model or the NumPy struct-of-arrays core "
-                            "(bit-identical, much faster)")
+                            "model, the struct-of-arrays core "
+                            "(bit-identical, much faster; NumPy-"
+                            "vectorized sweeps when available), or the "
+                            "same core with its scalar sweeps pinned")
         p.add_argument("--window", type=int, default=0, metavar="N",
                        help="sample windowed metric series every N "
                             "sim-cycles (0 = off); series appear in "

@@ -14,16 +14,34 @@ indexed by small integers instead of per-flit / per-VC Python objects:
 * flits live in a growable struct-of-arrays pool (parallel ``array``
   columns plus one list column for destination tuples); a "flit" is an
   integer row index;
-* route lookups go through a lazily filled NumPy next-hop table, one
-  ``int32`` per (router, destination) pair.
+* route lookups go through a lazily filled flat next-hop table, one
+  machine int per (router, destination) pair.
 
 The cycle loop only visits routers that actually hold flits, and
 :meth:`ArrayNetwork.run_until_drained` fast-forwards across cycles where
 the fabric is provably idle (nothing buffered, nothing to inject) --
 both are pure reorderings of no-ops, so counters and timings match the
-object core bit for bit. The equivalence contract is enforced by
-``tests/noc/test_arraycore.py``, the differential oracle, and the
-``arraycore`` fuzzer family.
+object core bit for bit.
+
+When NumPy is available (``HAVE_NUMPY``) the per-cycle inner sweeps --
+link arrivals and the switch-allocation candidate scan -- additionally
+run as whole-mesh vectorized passes over the same flat columns (see
+DESIGN.md section 13). The vectorized switch pass evaluates every
+occupied input unit against the cycle-start state and *proves*, per
+unit, whether that early answer is identical to the answer the
+sequential object-core sweep would produce at the unit's turn; units it
+cannot prove stable (their credit / downstream-VC gates could be
+re-opened by a pop at an earlier-ranked router in the same sweep) fall
+back to the exact scalar evaluation at their position in router order.
+Arbitration, commits, and link traversal replay in the object core's
+router order either way, so phase order, stringified-port tie-breaks,
+round-robin pointers, and every side-effect counter stay bit-identical.
+Without NumPy the same scalar loops run alone: the array core degrades
+gracefully instead of refusing to construct.
+
+The equivalence contract is enforced by ``tests/noc/test_arraycore.py``,
+``tests/noc/test_arraycore_saturation.py``, the differential oracle, and
+the ``arraycore`` fuzzer family.
 
 Checkers and fault controllers hook per-object state and are
 intentionally unsupported here; install them on the object core.
@@ -52,6 +70,19 @@ _UNROUTED = -9
 #: Next-hop values at or below this encode "no channel to that node"
 #: (the object core raises at VC allocation time; so do we).
 _INVALID_BASE = -100
+#: Buffered flits below which the vectorized switch pass costs more than
+#: the scalar sweep it replaces: the whole-mesh pass has a few hundred
+#: microseconds of fixed NumPy-dispatch cost per cycle, while the scalar
+#: scan costs a few microseconds per occupied unit, so the pass only
+#: pays off at multi-hundred-flit occupancy (measured crossover).
+_VECTOR_SWITCH_THRESHOLD = 512
+#: Arrival-batch size below which the scalar delivery loop is faster
+#: than the vectorized one (measured crossover ~128 flits; the vector
+#: path wins >2x at 1000-flit batches).
+_VECTOR_ARRIVAL_THRESHOLD = 128
+
+#: A switch-allocation candidate: (in_local, out_local, out_vc, flit, gvc).
+_Cand = tuple[int, int, int, int, int]
 
 
 class FlitPool:
@@ -60,8 +91,11 @@ class FlitPool:
     Columns mirror :class:`repro.noc.flit.Flit` minus the identity
     fields the simulation never branches on (``flit_id`` is repr-only in
     the object core). ``destinations`` holds tuples of *destination node
-    ids* (ints), empty for body/tail flits. ``group_node`` caches which
-    router the ``groups`` column was computed for (-1 = stale).
+    ids* (ints), empty for body/tail flits; ``dest0`` / ``is_mc``
+    denormalize its first element and multicast bit into flat columns the
+    sweeps (scalar and vectorized) can read without touching the list.
+    ``group_node`` caches which router the ``groups`` column was computed
+    for (-1 = stale).
     """
 
     def __init__(self, capacity: int = 256) -> None:
@@ -77,6 +111,13 @@ class FlitPool:
         self.hops: array[int] = array("i", bytes(4 * capacity))
         self.eligible_at: array[int] = array("q", bytes(8 * capacity))
         self.destinations: list[tuple[int, ...]] = [()] * capacity
+        #: First destination id (-1 for body/tail flits); kept in sync
+        #: with ``destinations`` so unicast route lookups skip the list.
+        self.dest0: array[int] = array("i", bytes(4 * capacity))
+        #: 1 when the flit is a head with >1 destinations (the multicast
+        #: communication-type bit); gates replication and marks the flit
+        #: too complex for the vectorized single-destination route path.
+        self.is_mc: array[int] = array("b", bytes(capacity))
         self.group_node: array[int] = array("i", bytes(4 * capacity))
         self.groups: list[list[tuple[int, tuple[int, ...]]]] = [[]] * capacity
 
@@ -90,6 +131,8 @@ class FlitPool:
         self.hops.extend(bytes(4 * extra))
         self.eligible_at.extend(bytes(8 * extra))
         self.destinations.extend([()] * extra)
+        self.dest0.extend(bytes(4 * extra))
+        self.is_mc.extend(bytes(extra))
         self.group_node.extend(bytes(4 * extra))
         self.groups.extend([[]] * extra)
         self.capacity += extra
@@ -118,8 +161,17 @@ class FlitPool:
         self.hops[f] = hops
         self.eligible_at[f] = eligible_at
         self.destinations[f] = destinations
+        self.dest0[f] = destinations[0] if destinations else -1
+        self.is_mc[f] = 1 if head and len(destinations) > 1 else 0
         self.group_node[f] = -1
         return f
+
+    def narrow(self, flit: int, destinations: tuple[int, ...]) -> None:
+        """Replace a head flit's destination set (multicast splitting)."""
+        self.destinations[flit] = destinations
+        self.dest0[flit] = destinations[0] if destinations else -1
+        self.is_mc[flit] = 1 if len(destinations) > 1 else 0
+        self.group_node[flit] = -1
 
 
 class ArrayNetwork:
@@ -128,9 +180,14 @@ class ArrayNetwork:
     Mirrors the :class:`~repro.noc.network.Network` client API (inject,
     timed injections, step/run/run_until_drained, delivery callbacks,
     stats, metrics) and is bit-identical to it on every healthy
-    workload. Requires NumPy (``HAVE_NUMPY``); raises
-    :class:`SimulationError` otherwise so callers can fall back to the
-    object core.
+    workload.
+
+    ``vectorize`` selects the sweep implementation: ``None`` (default)
+    enables the whole-mesh NumPy passes when NumPy is importable and the
+    fabric is busy enough for them to pay off; ``True`` forces them on
+    every non-empty cycle (raises :class:`SimulationError` without
+    NumPy); ``False`` runs the pure-Python scalar sweeps, which need no
+    NumPy at all. All three modes are bit-identical.
     """
 
     def __init__(
@@ -139,12 +196,26 @@ class ArrayNetwork:
         routing: RouteComputer | None = None,
         router_config: RouterConfig | None = None,
         window: int = 0,
+        vectorize: bool | None = None,
     ) -> None:
-        if not HAVE_NUMPY:
+        if vectorize and not HAVE_NUMPY:
             raise SimulationError(
-                "the array core requires numpy; use core='object' instead"
+                "vectorized sweeps require numpy; "
+                "use vectorize=False (or core='array-scalar') without it"
             )
-        import numpy
+        self._vector = HAVE_NUMPY if vectorize is None else bool(vectorize)
+        if self._vector:
+            import numpy
+
+            self._np: Any = numpy
+        else:
+            self._np = None
+        if vectorize:  # forced: vectorize every non-empty cycle
+            self._switch_threshold = 0
+            self._arrival_threshold = 0
+        else:  # auto: only when the fixed whole-mesh pass cost pays off
+            self._switch_threshold = _VECTOR_SWITCH_THRESHOLD
+            self._arrival_threshold = _VECTOR_ARRIVAL_THRESHOLD
 
         self.topology = topology
         self.routing = routing or routing_for(topology)
@@ -182,8 +253,15 @@ class ArrayNetwork:
         self._packets: list[Packet] = []
         self._packet_dests: list[tuple[int, ...]] = []
         self._packet_nflits: list[int] = []
+        #: packet_id per packet row (the vectorized arrival pass reads
+        #: these through a NumPy view instead of Packet attributes).
+        self._packet_pid: array[int] = array("q")
 
-        self._route: Any = numpy.full(n * n, _UNROUTED, dtype=numpy.int32)
+        #: Lazily filled next-hop table, one machine int per (router,
+        #: destination) pair. A plain ``array`` on purpose: single-cell
+        #: reads are ~3x faster than NumPy scalar indexing, and the
+        #: vectorized pass reads it through a shared-memory view anyway.
+        self._route: array[int] = array("i", [_UNROUTED]) * (n * n)
 
         #: cycle -> [(dst_router, in_local, vc, flit)] link arrivals
         self._arrivals: dict[int, list[tuple[int, int, int, int]]] = {}
@@ -191,6 +269,8 @@ class ArrayNetwork:
         #: are created on first use and persist when drained (iteration
         #: order matches the object core's defaultdict).
         self._inject_queues: dict[int, deque[int]] = {}
+        #: Routers whose inject queue is currently non-empty.
+        self._inject_ready: set[int] = set()
         #: cycle -> [(packet, node)] future injections
         self._timed_injections: dict[int, list[tuple[Packet, NodeId | None]]] = {}
         #: (router, packet_id) -> (remaining flit rows, target global VC)
@@ -215,6 +295,8 @@ class ArrayNetwork:
             self._series = make_noc_series(self.window)
         else:
             self._series = None
+        if self._vector:
+            self._build_views()
 
     # -- static geometry ----------------------------------------------------
 
@@ -252,6 +334,7 @@ class ArrayNetwork:
             units += len(self._in_nodes[r]) + 1
             chans += len(self._out_nodes[r])
         self._num_units = units
+        self._num_chans = chans
 
         #: local input index of node ``src`` at router ``dst``
         in_local: list[dict[int, int]] = [
@@ -341,6 +424,81 @@ class ArrayNetwork:
         self._unit_len: array[int] = array("i", bytes(4 * units))
         #: buffered multicast heads per router (gates replication sweeps)
         self._router_mc: array[int] = array("i", bytes(4 * len(self._nodes)))
+        #: buffered multicast heads fabric-wide (skips the whole phase)
+        self._mc_total = 0
+        #: buffered flits fabric-wide (gates the vectorized switch pass)
+        self._buffered = 0
+
+    def _build_views(self) -> None:
+        """NumPy views over the flat state plus static geometry tables.
+
+        Views share memory with the ``array`` columns (``frombuffer``),
+        so scalar writes are visible to vectorized reads and vice versa.
+        Only fixed-size arrays get persistent views; growable pool
+        columns are viewed per pass (see :meth:`_pool_views`) because a
+        live buffer export would make ``array.extend`` raise.
+        """
+        np = self._np
+        self._v_vc_len = np.frombuffer(self._vc_len, dtype=np.intc)
+        self._v_vc_head = np.frombuffer(self._vc_head, dtype=np.intc)
+        self._v_vc_active = np.frombuffer(self._vc_active, dtype=np.longlong)
+        self._v_vc_out_local = np.frombuffer(self._vc_out_local, dtype=np.intc)
+        self._v_vc_out_vc = np.frombuffer(self._vc_out_vc, dtype=np.intc)
+        self._v_vc_max_occ = np.frombuffer(self._vc_max_occ, dtype=np.intc)
+        self._v_slots = np.frombuffer(self._slots, dtype=np.intc)
+        self._v_credit = np.frombuffer(self._credit, dtype=np.intc)
+        self._v_credit_stall = np.frombuffer(
+            self._credit_stall, dtype=np.longlong
+        )
+        self._v_rr_in = np.frombuffer(self._rr_in, dtype=np.intc)
+        self._v_unit_len = np.frombuffer(self._unit_len, dtype=np.intc)
+        self._v_router_occ = np.frombuffer(self._router_occ, dtype=np.intc)
+        self._v_router_mc = np.frombuffer(self._router_mc, dtype=np.intc)
+        self._v_route = np.frombuffer(self._route, dtype=np.intc)
+
+        n = len(self._nodes)
+        units = self._num_units
+        unit_router = np.empty(units, dtype=np.int64)
+        unit_local = np.empty(units, dtype=np.int64)
+        unit_eject = np.empty(units, dtype=np.int64)
+        for r in range(n):
+            base = self._unit_base[r]
+            stop = base + self._inject_local[r] + 1
+            unit_router[base:stop] = r
+            unit_local[base:stop] = np.arange(stop - base)
+            unit_eject[base:stop] = self._eject_local[r]
+        self._g_unit_router = unit_router
+        self._g_unit_local = unit_local
+        self._g_unit_eject = unit_eject
+        self._g_unit_base = np.asarray(self._unit_base, dtype=np.int64)
+        self._g_chan_base = np.asarray(self._chan_base, dtype=np.int64)
+        chan_down_unit = np.empty(self._num_chans, dtype=np.int64)
+        chan_down_router = np.empty(self._num_chans, dtype=np.int64)
+        for r in range(n):
+            base = self._chan_base[r]
+            for o, dst in enumerate(self._out_nodes[r]):
+                chan_down_unit[base + o] = self._down_unit[r][o]
+                chan_down_router[base + o] = dst
+        self._g_chan_down_unit = chan_down_unit
+        self._g_chan_down_router = chan_down_router
+        self._g_arange_vcs = np.arange(self._vcs, dtype=np.int64)
+
+    def _pool_views(self) -> tuple[Any, Any, Any, Any]:
+        """Fresh views of the growable pool columns the sweeps read.
+
+        Built per pass and dropped with the caller's frame: a persistent
+        export would block :meth:`FlitPool._grow` (``array.extend``
+        raises while a buffer export is alive). No pool growth happens
+        while these views exist -- the sweeps never allocate flits.
+        """
+        np = self._np
+        pool = self.pool
+        return (
+            np.frombuffer(pool.eligible_at, dtype=np.longlong),
+            np.frombuffer(pool.is_head, dtype=np.int8),
+            np.frombuffer(pool.is_mc, dtype=np.int8),
+            np.frombuffer(pool.dest0, dtype=np.intc),
+        )
 
     # -- client API ---------------------------------------------------------
 
@@ -412,11 +570,13 @@ class ArrayNetwork:
         self._packets.append(packet)
         self._packet_dests.append(dests)
         self._packet_nflits.append(int(packet.num_flits))
+        self._packet_pid.append(int(packet.packet_id))
         queue = self._inject_queues.get(r)
         if queue is None:
             queue = deque()
             self._inject_queues[r] = queue
         queue.append(row)
+        self._inject_ready.add(r)
         if len(queue) > self._inject_depth_hw.get(r, 0):
             self._inject_depth_hw[r] = len(queue)
         self.stats.packets_injected += 1
@@ -446,10 +606,8 @@ class ArrayNetwork:
         self._inject_phase(cycle)
         if self._active:
             order = sorted(self._active)
-            for r in order:
-                self._replication_phase(r, cycle)
-            for r in order:
-                self._switch_phase(r, cycle)
+            self._replication_phase(cycle, order)
+            self._switch_phase(cycle, order)
         self.cycle = cycle + 1
         self.stats.cycles = self.cycle
 
@@ -477,7 +635,7 @@ class ArrayNetwork:
             if (
                 not self._active
                 and not self._inject_progress
-                and not any(self._inject_queues.values())
+                and not self._inject_ready
             ):
                 horizon = start + max_cycles
                 target = horizon
@@ -708,7 +866,7 @@ class ArrayNetwork:
 
     def _queues_nonempty(self) -> bool:
         return (
-            any(self._inject_queues.values())
+            bool(self._inject_ready)
             or bool(self._inject_progress)
             or bool(self._timed_injections)
         )
@@ -740,8 +898,10 @@ class ArrayNetwork:
         if length + 1 > self._vc_max_occ[gvc]:
             self._vc_max_occ[gvc] = length + 1
         self._unit_len[gvc // self._vcs] += 1
-        if self.pool.is_head[flit] and len(self.pool.destinations[flit]) > 1:
+        if self.pool.is_mc[flit]:
             self._router_mc[r] += 1
+            self._mc_total += 1
+        self._buffered += 1
         occ = self._router_occ[r] + 1
         self._router_occ[r] = occ
         if occ == 1:
@@ -761,8 +921,10 @@ class ArrayNetwork:
             self._vc_out_local[gvc] = -1
             self._vc_out_vc[gvc] = -1
         self._unit_len[gvc // self._vcs] -= 1
-        if self.pool.is_head[flit] and len(self.pool.destinations[flit]) > 1:
+        if self.pool.is_mc[flit]:
             self._router_mc[r] -= 1
+            self._mc_total -= 1
+        self._buffered -= 1
         if p != self._inject_local[r]:
             self._return_credit(self._up_chan[r][p], gvc % self._vcs, r)
         occ = self._router_occ[r] - 1
@@ -783,7 +945,7 @@ class ArrayNetwork:
     def _next_local(self, r: int, dest: int) -> int:
         """Local output toward *dest* from router *r* (lazy route table)."""
         key = r * len(self._nodes) + dest
-        cached = int(self._route[key])
+        cached = self._route[key]
         if cached != _UNROUTED:
             return cached
         hop = self.routing.next_hop(
@@ -817,9 +979,18 @@ class ArrayNetwork:
         pool.group_node[flit] = r
         return groups
 
+    # -- link traversal (arrival delivery) ----------------------------------
+
     def _deliver_arrivals(self, cycle: int) -> None:
         batch = self._arrivals.pop(cycle, None)
         if batch is None:
+            return
+        if (
+            self._vector
+            and len(batch) >= self._arrival_threshold
+            and not self._sink.enabled
+        ):
+            self._deliver_arrivals_vector(batch, cycle)
             return
         pool = self.pool
         vcs = self._vcs
@@ -837,31 +1008,97 @@ class ArrayNetwork:
                     },
                 )
 
+    def _deliver_arrivals_vector(
+        self, batch: list[tuple[int, int, int, int]], cycle: int
+    ) -> None:
+        """Whole-batch link traversal: the ``_push`` loop as array ops.
+
+        Exact because at most one flit per cycle arrives at any (unit,
+        vc) -- each input unit maps 1:1 to one upstream channel, a
+        channel carries at most one flit per cycle (one switch winner per
+        output port), and its wire delay is constant -- so every scatter
+        below writes disjoint cells and the batch order cannot matter.
+        Validation failures replay through the scalar loop to raise the
+        identical diagnostics.
+        """
+        np = self._np
+        vcs = self._vcs
+        depth = self._depth
+        cols = np.array(batch, dtype=np.int64).T
+        rs, ps, vc_arr, flits = cols[0], cols[1], cols[2], cols[3]
+        gvc = (self._g_unit_base[rs] + ps) * vcs + vc_arr
+        vlen = self._v_vc_len[gvc].astype(np.int64)
+        pool = self.pool
+        pkt_rows = np.frombuffer(pool.packet, dtype=np.longlong)[flits]
+        pids = np.frombuffer(self._packet_pid, dtype=np.longlong)[pkt_rows]
+        heads = np.frombuffer(pool.is_head, dtype=np.int8)[flits] != 0
+        active = self._v_vc_active[gvc]
+        claim_bad = np.where(
+            heads, (active >= 0) & (active != pids), active != pids
+        )
+        if (vlen >= depth).any() or claim_bad.any():
+            # Replay sequentially so the error message (and any partial
+            # state before the raise) matches the scalar path exactly.
+            eligible = pool.eligible_at
+            for r, p, vc, flit in batch:
+                eligible[flit] = cycle + self._hop_wait
+                self._push(r, (self._unit_base[r] + p) * vcs + vc, flit)
+            raise SimulationError("unreachable: scalar replay must raise")
+        np.frombuffer(pool.eligible_at, dtype=np.longlong)[flits] = (
+            cycle + self._hop_wait
+        )
+        slot = gvc * depth + (self._v_vc_head[gvc] + vlen) % depth
+        self._v_slots[slot] = flits
+        newlen = vlen + 1
+        self._v_vc_len[gvc] = newlen
+        self._v_vc_max_occ[gvc] = np.maximum(self._v_vc_max_occ[gvc], newlen)
+        self._v_vc_active[gvc[heads]] = pids[heads]
+        # One arrival per unit (see docstring), so a plain scatter-add is
+        # exact for unit_len; routers can repeat across units.
+        self._v_unit_len[gvc // vcs] += 1
+        np.add.at(self._v_router_occ, rs, 1)
+        mc = np.frombuffer(pool.is_mc, dtype=np.int8)[flits] != 0
+        if mc.any():
+            np.add.at(self._v_router_mc, rs[mc], 1)
+            self._mc_total += int(mc.sum())
+        self._buffered += len(batch)
+        self._active.update(rs.tolist())
+
     def _inject_phase(self, cycle: int) -> None:
         """Move at most one flit per router from its inject queue to a VC."""
+        progress = self._inject_progress
+        ready = self._inject_ready
+        if not progress and not ready:
+            return
         vcs = self._vcs
         pool = self.pool
-        progress = self._inject_progress
-        for r, queue in self._inject_queues.items():
-            if not queue and not progress:
-                continue
+        if progress:
+            routers = set(ready)
+            for r, _pid in progress:
+                routers.add(r)
+            order = sorted(routers)
+        else:
+            order = sorted(ready)
+        for r in order:
+            queue = self._inject_queues.get(r)
             progressed = False
-            for key in list(progress):
-                if key[0] != r:
-                    continue
-                flits, gvc = self._inject_progress[key]
-                if self._vc_len[gvc] < self._depth:
-                    flit = flits.popleft()
-                    pool.eligible_at[flit] = cycle + self._hop_wait
-                    self._push(r, gvc, flit)
-                    self.stats.flits_injected += 1
-                    if self._series is not None:
-                        self._series["noc.series.flits_injected"].record(cycle)
-                    progressed = True
-                if not flits:
-                    del self._inject_progress[key]
-                if progressed:
-                    break
+            if progress:
+                for key in [k for k in progress if k[0] == r]:
+                    flits, gvc = progress[key]
+                    if self._vc_len[gvc] < self._depth:
+                        flit = flits.popleft()
+                        pool.eligible_at[flit] = cycle + self._hop_wait
+                        self._push(r, gvc, flit)
+                        self.stats.flits_injected += 1
+                        if self._series is not None:
+                            self._series["noc.series.flits_injected"].record(
+                                cycle
+                            )
+                        progressed = True
+                    if not flits:
+                        del progress[key]
+                    if progressed:
+                        break
             if progressed or not queue:
                 continue
             row = queue[0]
@@ -875,6 +1112,8 @@ class ArrayNetwork:
             if free < 0:
                 continue
             queue.popleft()
+            if not queue:
+                ready.discard(r)
             packet = self._packets[row]
             nflits = self._packet_nflits[row]
             dests = self._packet_dests[row]
@@ -898,10 +1137,15 @@ class ArrayNetwork:
 
     # -- multicast replication ---------------------------------------------
 
-    def _replication_phase(self, r: int, cycle: int) -> None:
+    def _replication_phase(self, cycle: int, order: list[int]) -> None:
         """Split multicast heads that need several output ports."""
-        if not self._router_mc[r]:
+        if not self._mc_total:
             return
+        for r in order:
+            if self._router_mc[r]:
+                self._replicate_router(r, cycle)
+
+    def _replicate_router(self, r: int, cycle: int) -> None:
         vcs = self._vcs
         depth = self._depth
         pool = self.pool
@@ -916,7 +1160,7 @@ class ArrayNetwork:
                 if not self._vc_len[gvc]:
                     continue
                 flit = self._slots[gvc * depth + self._vc_head[gvc]]
-                if len(pool.destinations[flit]) <= 1:
+                if not pool.is_mc[flit]:
                     continue
                 if pool.eligible_at[flit] > cycle:
                     continue
@@ -952,10 +1196,10 @@ class ArrayNetwork:
             borrowed.append((slot[0], slot[1], destinations))
             taken.append(slot[1])
         pool = self.pool
-        pool.destinations[flit] = keep_dsts
-        pool.group_node[flit] = -1
+        pool.narrow(flit, keep_dsts)
         if len(keep_dsts) <= 1:  # the kept group is no longer a multicast
             self._router_mc[r] -= 1
+            self._mc_total -= 1
         row = pool.packet[flit]
         for borrow_p, borrow_gvc, destinations in borrowed:
             replica = pool.alloc(
@@ -1010,9 +1254,7 @@ class ArrayNetwork:
 
     # -- switch allocation --------------------------------------------------
 
-    def _candidate_for_port(
-        self, r: int, p: int, cycle: int
-    ) -> tuple[int, int, int, int, int] | None:
+    def _candidate_for_port(self, r: int, p: int, cycle: int) -> _Cand | None:
         """Pick at most one ready VC of input PC *p* (round-robin).
 
         Returns ``(in_local, out_local, out_vc, flit, gvc)``; ``out_vc``
@@ -1034,9 +1276,7 @@ class ArrayNetwork:
                 return forward
         return None
 
-    def _vc_ready(
-        self, r: int, p: int, gvc: int, cycle: int
-    ) -> tuple[int, int, int, int, int] | None:
+    def _vc_ready(self, r: int, p: int, gvc: int, cycle: int) -> _Cand | None:
         if not self._vc_len[gvc]:
             return None
         pool = self.pool
@@ -1045,12 +1285,19 @@ class ArrayNetwork:
             return None
         eject = self._eject_local[r]
         if pool.is_head[flit]:
-            groups = self._output_groups(r, flit)
-            if len(groups) > 1:
-                return None  # must replicate first
-            out_local = groups[0][0]
-            if out_local == eject:
-                return (p, eject, -1, flit, gvc)
+            if pool.is_mc[flit]:
+                groups = self._output_groups(r, flit)
+                if len(groups) > 1:
+                    return None  # must replicate first
+                out_local = groups[0][0]
+                if out_local == eject:
+                    return (p, eject, -1, flit, gvc)
+            else:
+                # Unicast fast path: one destination, no grouping dict.
+                dest = pool.dest0[flit]
+                if dest == r:
+                    return (p, eject, -1, flit, gvc)
+                out_local = self._next_local(r, dest)
             if out_local < 0:
                 port = self.routing.next_hop(
                     self.topology, self._nodes[r],
@@ -1090,41 +1337,277 @@ class ArrayNetwork:
                 return vc
         return -1
 
-    def _switch_phase(self, r: int, cycle: int) -> None:
-        """Arbitrate the crossbar; commit winners, then move their flits."""
-        candidates: list[tuple[int, int, int, int, int]] = []
+    def _sweep_candidates(
+        self, cycle: int
+    ) -> tuple[dict[int, _Cand], set[int]] | None:
+        """Whole-mesh switch-allocation pre-filter against cycle-start state.
+
+        Evaluates the round-robin input-VC scan, route lookup, credit
+        gates, and downstream VC allocation for *every* occupied input
+        unit in one batch of array ops, then classifies each unit:
+
+        * **stable with candidate** -- every VC the scan examined (all
+          round-robin offsets up to and including the first passing one)
+          has a verdict that provably cannot change before the unit's
+          router takes its sequential turn. The precomputed candidate IS
+          the answer; its round-robin pointer advance and failure-counter
+          side effects are applied here.
+        * **stable without candidate** -- same proof, no VC passed; the
+          unit is skipped at its turn (side effects applied here).
+        * **live** (returned in the second element) -- some examined VC's
+          verdict depends on external state a pop at an earlier-ranked
+          router could still change this sweep (its credit / downstream
+          gate could be re-opened, or its head is a multicast the
+          grouping dict must resolve). These re-run the exact scalar
+          evaluation at their turn.
+
+        Stability hinges on the sweep's write pattern: between the cycle
+        start and router ``r``'s turn, the only cross-router writes are
+        pops at routers ``d < r``, which *free* resources (return credit
+        on the ``r -> d`` channel, release VCs of ``r``'s dedicated input
+        unit at ``d``). A unit's own state cannot change before its turn,
+        failing gates can only flip if such a pop exists (``d < r`` and
+        ``d`` held flits at cycle start), and a passing gate whose
+        allocation picked VC 0 cannot be changed by freeing. Everything
+        else is conservatively classified live.
+        """
+        np = self._np
+        vcs = self._vcs
+        depth = self._depth
+        units = np.nonzero(self._v_unit_len)[0]
+        k = int(units.size)
+        if not k:
+            return None
+        arange_v = self._g_arange_vcs
+        gvc = units[:, None] * vcs + arange_v[None, :]
+        vlen = self._v_vc_len[gvc]
+        has = vlen > 0
+        head_slot = gvc * depth + self._v_vc_head[gvc]
+        flit = np.where(has, self._v_slots[head_slot].astype(np.int64), 0)
+        p_elig, p_head, p_mc, p_dest0 = self._pool_views()
+        r_col = self._g_unit_router[units][:, None]
+        eject_col = self._g_unit_eject[units][:, None]
+        act = has & (p_elig[flit] <= cycle)
+        is_head = p_head[flit] != 0
+        head_act = act & is_head
+        body_act = act & ~is_head
+
+        # Heads: multicast -> live (grouping dict); unicast -> flat route.
+        mc = head_act & (p_mc[flit] != 0)
+        uni = head_act & ~mc
+        dest = p_dest0[flit].astype(np.int64)
+        self_dest = uni & (dest == r_col)
+        routed = uni & ~self_dest
+        n = len(self._nodes)
+        route_key = np.where(routed & (dest >= 0), r_col * n + dest, 0)
+        route = self._v_route[route_key].astype(np.int64)
+        unrouted = routed & (route == _UNROUTED)
+        if unrouted.any():
+            # Warm the lazy route table for cold (router, dest) pairs up
+            # front: _next_local caches a pure function of the topology,
+            # so filling early is value-identical to the scalar path
+            # filling at each unit's turn.
+            cold_r = np.broadcast_to(r_col, dest.shape)[unrouted].tolist()
+            cold_d = dest[unrouted].tolist()
+            for fr, fd in zip(cold_r, cold_d):
+                self._next_local(fr, fd)
+            route = self._v_route[route_key].astype(np.int64)
+        invalid = routed & (route < 0)  # scalar path raises on these
+        head_sw = routed & ~invalid
+        complex_cell = mc | invalid
+
+        # Bodies: follow the wormhole's allocated (out_local, out_vc).
+        b_out = self._v_vc_out_local[gvc].astype(np.int64)
+        b_vc = self._v_vc_out_vc[gvc].astype(np.int64)
+        body_eject = body_act & (b_out == eject_col)
+        body_sw = body_act & ~body_eject & (b_out >= 0) & (b_vc >= 0)
+
+        # External gates for cells that target a real output channel.
+        gated = head_sw | body_sw
+        out_local = np.where(head_sw, route, np.where(body_sw, b_out, 0))
+        chan = np.where(gated, self._g_chan_base[r_col] + out_local, 0)
+        cbase = chan * vcs
+        body_ok = self._v_credit[np.where(body_sw, cbase + b_vc, 0)] > 0
+        body_pass = body_sw & body_ok
+        body_fail = body_sw & ~body_ok
+        down_unit = np.where(gated, self._g_chan_down_unit[chan], 0)
+        idx3 = (down_unit * vcs)[:, :, None] + arange_v[None, None, :]
+        cidx3 = cbase[:, :, None] + arange_v[None, None, :]
+        alloc_free = (
+            (self._v_vc_active[idx3] < 0)
+            & (self._v_vc_len[idx3] == 0)
+            & (self._v_credit[cidx3] > 0)
+        )
+        alloc_any = alloc_free.any(axis=2)
+        alloc_vc = alloc_free.argmax(axis=2)  # first free+credited VC
+        head_pass = head_sw & alloc_any
+        head_fail = head_sw & ~alloc_any
+
+        # A failing (or non-first-VC-allocating) gate is only unstable if
+        # a pop at an earlier-ranked router could re-open it this sweep.
+        # The only pops that touch r's gates pop from r's dedicated input
+        # unit at the downstream router (returning credit on r's channel
+        # and freeing that unit's VCs), so the reopen test is per
+        # down-unit VC: a VC with nothing buffered at cycle start cannot
+        # be popped, hence cannot flip the verdict it gates.
+        down_router = np.where(gated, self._g_chan_down_router[chan], 0)
+        earlier = gated & (down_router < r_col)
+        occ3 = self._v_vc_len[idx3] > 0
+        body_reopen = body_fail & (
+            self._v_vc_len[np.where(body_sw, down_unit * vcs + b_vc, 0)] > 0
+        )
+        fail_reopen = head_fail & occ3.any(axis=2)
+        pick_reopen = head_pass & (
+            occ3 & (arange_v[None, None, :] < alloc_vc[:, :, None])
+        ).any(axis=2)
+        sensitive = complex_cell | (
+            earlier & (body_reopen | fail_reopen | pick_reopen)
+        )
+
+        cand = self_dest | body_eject | head_pass | body_pass
+        out_vc = np.where(
+            head_pass, alloc_vc, np.where(body_pass, b_vc, -1)
+        )
+        out_final = np.where(self_dest | body_eject, eject_col, out_local)
+
+        # Round-robin first-match scan, in each unit's rotated VC order.
+        start = self._v_rr_in[units].astype(np.int64)
+        offs = (start[:, None] + arange_v[None, :]) % vcs
+        cand_rot = np.take_along_axis(cand, offs, axis=1)
+        first = cand_rot.argmax(axis=1)
+        any_cand = cand_rot.any(axis=1)
+        limit = np.where(any_cand, first, vcs - 1)
+        examined = arange_v[None, :] <= limit[:, None]
+        sens_rot = np.take_along_axis(sensitive, offs, axis=1)
+        live_unit = (sens_rot & examined).any(axis=1)
+        stable = ~live_unit
+
+        # Side effects of the examined, stable cells (the scalar sweep
+        # would apply these at each unit's turn; they are pure sums).
+        ex_stable = examined & stable[:, None]
+        fail_rot = np.take_along_axis(head_fail, offs, axis=1)
+        failures = int((fail_rot & ex_stable).sum())
+        if failures:
+            self.vc_alloc_failures += failures
+        stall_rot = np.take_along_axis(body_fail, offs, axis=1)
+        stall_mask = stall_rot & ex_stable
+        if stall_mask.any():
+            stall_key = np.take_along_axis(
+                np.where(body_fail, cbase + b_vc, 0), offs, axis=1
+            )
+            np.add.at(self._v_credit_stall, stall_key[stall_mask], 1)
+        granted = stable & any_cand
+        if granted.any():
+            self._v_rr_in[units[granted]] = (
+                (start[granted] + first[granted] + 1) % vcs
+            ).astype(np.intc)
+
+        # Python-side decision table for the sequential walk.
+        pick_vc = np.take_along_axis(offs, first[:, None], axis=1)[:, 0]
+        rows = np.arange(k)
+        c_p = self._g_unit_local[units].tolist()
+        c_out = out_final[rows, pick_vc].tolist()
+        c_vc = out_vc[rows, pick_vc].tolist()
+        c_flit = flit[rows, pick_vc].tolist()
+        c_gvc = gvc[rows, pick_vc].tolist()
+        units_l = units.tolist()
+        granted_l = granted.tolist()
+        live_l = live_unit.tolist()
+        pre: dict[int, _Cand] = {}
+        live: set[int] = set()
+        for i in range(k):
+            if granted_l[i]:
+                pre[units_l[i]] = (
+                    c_p[i], c_out[i], c_vc[i], c_flit[i], c_gvc[i]
+                )
+            elif live_l[i]:
+                live.add(units_l[i])
+        return pre, live
+
+    def _switch_phase(self, cycle: int, order: list[int]) -> None:
+        """Arbitrate every crossbar in router order; commit the winners.
+
+        When the vectorized pre-filter ran, units it proved stable use
+        their precomputed candidates and the rest re-evaluate live; the
+        arbitration/commit walk itself always runs in the object core's
+        sequential router order, so intra-cycle credit visibility -- a
+        pop at router ``d`` freeing resources routers ``> d`` see in the
+        same sweep -- is preserved exactly.
+        """
+        pre: dict[int, _Cand] | None = None
+        live: set[int] = set()
+        if self._vector and self._buffered >= self._switch_threshold:
+            swept = self._sweep_candidates(cycle)
+            if swept is not None:
+                pre, live = swept
+        for r in order:
+            winners = self._switch_router(r, cycle, pre, live)
+            for winner in winners:
+                self._handle_forward(r, winner, cycle)
+
+    def _switch_router(
+        self,
+        r: int,
+        cycle: int,
+        pre: dict[int, _Cand] | None,
+        live: set[int],
+    ) -> tuple[_Cand, ...] | list[_Cand]:
+        """Arbitrate one crossbar; commit and return this cycle's winners."""
+        candidates: list[_Cand] = []
         unit_base = self._unit_base[r]
         unit_len = self._unit_len
-        candidate = self._candidate_for_port
-        for p in range(self._inject_local[r] + 1):
-            if not unit_len[unit_base + p]:
-                continue
-            forward = candidate(r, p, cycle)
-            if forward is not None:
-                candidates.append(forward)
+        if pre is None:
+            candidate = self._candidate_for_port
+            for p in range(self._inject_local[r] + 1):
+                if not unit_len[unit_base + p]:
+                    continue
+                forward = candidate(r, p, cycle)
+                if forward is not None:
+                    candidates.append(forward)
+        else:
+            for p in range(self._inject_local[r] + 1):
+                unit = unit_base + p
+                if not unit_len[unit]:
+                    continue
+                cached = pre.get(unit)
+                if cached is not None:
+                    candidates.append(cached)
+                elif unit in live:
+                    forward = self._candidate_for_port(r, p, cycle)
+                    if forward is not None:
+                        candidates.append(forward)
         if not candidates:
-            return
-        winners: list[tuple[int, int, int, int, int]] = []
+            return ()
+        if len(candidates) == 1:
+            # One input PC competing: it wins its output unopposed, but
+            # the output's round-robin pointer still advances.
+            winner = candidates[0]
+            slot = self._rr_out_base[r] + winner[1]
+            self._rr_out[slot] = self._rr_out[slot] + 1
+            self._commit(r, winner, cycle)
+            return candidates
+        by_out: dict[int, list[_Cand]] = {}
+        for forward in candidates:
+            by_out.setdefault(forward[1], []).append(forward)
+        winners: list[_Cand] = []
         rank = self._in_sort_rank[r]
-        for out_local in range(self._eject_local[r] + 1):
-            contenders = [c for c in candidates if c[1] == out_local]
-            if not contenders:
-                continue
+        rr_out = self._rr_out
+        base_slot = self._rr_out_base[r]
+        for out_local in sorted(by_out):
+            contenders = by_out[out_local]
+            slot = base_slot + out_local
             if len(contenders) > 1:
                 self.switch_conflicts += len(contenders) - 1
                 contenders.sort(key=lambda c: rank[c[0]])
-            slot = self._rr_out_base[r] + out_local
-            pick = self._rr_out[slot] % len(contenders)
-            self._rr_out[slot] = self._rr_out[slot] + 1
-            winner = contenders[pick]
+                winner = contenders[rr_out[slot] % len(contenders)]
+            else:
+                winner = contenders[0]
+            rr_out[slot] = rr_out[slot] + 1
             self._commit(r, winner, cycle)
             winners.append(winner)
-        for winner in winners:
-            self._handle_forward(r, winner, cycle)
+        return winners
 
-    def _commit(
-        self, r: int, forward: tuple[int, int, int, int, int], cycle: int
-    ) -> None:
+    def _commit(self, r: int, forward: _Cand, cycle: int) -> None:
         """Perform the switch traversal for a winning flit."""
         p, out_local, out_vc, flit, gvc = forward
         pool = self.pool
@@ -1160,9 +1643,7 @@ class ArrayNetwork:
                 raise SimulationError("downstream VC reserved by another packet")
             self._vc_active[down_gvc] = pid
 
-    def _handle_forward(
-        self, r: int, forward: tuple[int, int, int, int, int], cycle: int
-    ) -> None:
+    def _handle_forward(self, r: int, forward: _Cand, cycle: int) -> None:
         _, out_local, out_vc, flit, _ = forward
         if out_local == self._eject_local[r]:
             if self._series is not None:

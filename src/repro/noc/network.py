@@ -76,7 +76,7 @@ class NetworkStats:
 
 
 #: Recognized flit-core selectors (see :func:`make_network`).
-CORES = ("object", "array")
+CORES = ("object", "array", "array-scalar")
 
 
 def normalize_core(core: str | None) -> str:
@@ -102,14 +102,21 @@ def make_network(
     ``core="object"`` (the default) returns the reference
     :class:`Network`; ``core="array"`` returns the struct-of-arrays
     :class:`repro.noc.arraycore.ArrayNetwork`, which is bit-identical on
-    healthy workloads but requires NumPy and supports neither checkers
-    nor fault controllers. ``window`` > 0 enables windowed metric series
+    healthy workloads but supports neither checkers nor fault
+    controllers and uses its vectorized NumPy sweeps when NumPy is
+    importable; ``core="array-scalar"`` pins the array core to its
+    pure-Python scalar sweeps (the no-NumPy fallback path, also
+    bit-identical). ``window`` > 0 enables windowed metric series
     sampled every that many sim-cycles.
     """
-    if normalize_core(core) == "array":
+    resolved = normalize_core(core)
+    if resolved != "object":
         from repro.noc.arraycore import ArrayNetwork
 
-        return ArrayNetwork(topology, routing, router_config, window=window)
+        return ArrayNetwork(
+            topology, routing, router_config, window=window,
+            vectorize=False if resolved == "array-scalar" else None,
+        )
     return Network(topology, routing, router_config, window=window)
 
 

@@ -21,11 +21,12 @@
   read, unseeded RNG, mutable default, bare except, ...) that
   :func:`repro.analysis.analyze_source` must flag with the expected
   rule -- the lint engine fuzz-tests itself;
-* **arraycore** -- a noc-family geometry and traffic replayed on both
-  the object core and the struct-of-arrays core
-  (:class:`repro.noc.arraycore.ArrayNetwork`), diffing normalized
-  deliveries, stats, and telemetry counters bit-for-bit (a no-op
-  without NumPy);
+* **arraycore** -- a noc-family geometry and traffic (half the cases
+  sampled at saturated / near-saturated injection rates around the
+  knee) replayed on the object core and every array-core mode --
+  scalar fallback always, auto and forced-vector sweeps when NumPy is
+  present (:class:`repro.noc.arraycore.ArrayNetwork`) -- diffing
+  normalized deliveries, stats, and telemetry counters bit-for-bit;
 * **telemetry** -- a noc-family geometry and traffic replayed on both
   cores with a random windowed-series sample size, requiring the full
   published registry snapshots (series windows, per-link flit counts,
@@ -271,12 +272,57 @@ def _make_oracle_case(rng: random.Random) -> OracleCase:
 
 def _make_arraycore_case(rng: random.Random) -> ArraycoreCase:
     base = _make_noc_case(rng)
+    single_cycle = rng.random() < 0.7
+    if rng.random() < 0.5:
+        # Sparse protocol-paced traffic: the original family.
+        return ArraycoreCase(
+            kind=base.kind,
+            cols=base.cols,
+            rows=base.rows,
+            single_cycle=single_cycle,
+            packets=base.packets,
+        )
+    # Saturated / near-saturated load point: a dense stream injected at
+    # rates sampled around the saturation knee (one packet every 1-3
+    # cycles), optionally hotspotted toward a single node so ejection
+    # tree contention pushes a mesh past the knee even at rate 1.
+    topology = _build_topology(NocCase(base.kind, base.cols, base.rows))
+    nodes = sorted(topology.nodes, key=str)
+    row0 = [n for n in nodes if not isinstance(n[0], str) and n[1] == 0]
+    spacing = rng.choice((1, 1, 2, 3))
+    hotspot = rng.choice((0.0, 0.35, 0.6)) if base.kind == "mesh" else 0.0
+    hot = rng.choice(nodes)
+    packets = []
+    for i in range(rng.randint(30, 120)):
+        multicast = base.kind != "mesh" and rng.random() < 0.3
+        if multicast:
+            source = (
+                rng.choice(row0) if base.kind == "simplified"
+                else rng.choice(nodes)
+            )
+            width = rng.randint(2, min(6, len(nodes)))
+            destinations = tuple(sorted(rng.sample(nodes, width), key=str))
+            message = rng.choice(_CONTROL_MESSAGES)
+        else:
+            while True:
+                source = rng.choice(nodes)
+                if hotspot and source != hot and rng.random() < hotspot:
+                    destination = hot
+                else:
+                    destination = rng.choice(nodes)
+                if source == destination:
+                    continue
+                if base.kind != "simplified" or _xyx_legal(source, destination):
+                    break
+            destinations = (destination,)
+            message = rng.choice(_UNICAST_MESSAGES)
+        packets.append(PacketSpec(message, source, destinations, i * spacing))
     return ArraycoreCase(
         kind=base.kind,
         cols=base.cols,
         rows=base.rows,
-        single_cycle=rng.random() < 0.7,
-        packets=base.packets,
+        single_cycle=single_cycle,
+        packets=tuple(packets),
     )
 
 
@@ -475,7 +521,7 @@ def _core_digest(network) -> tuple:
             )
         )
     rows.sort()
-    counters: dict[str, int] = {}
+    counters: dict[str, object] = {}
 
     class _Metric:
         def __init__(self, name: str, high_water: bool) -> None:
@@ -488,12 +534,25 @@ def _core_digest(network) -> tuple:
         def update_max(self, value) -> None:
             counters[self.name] = max(counters.get(self.name, 0), value)
 
+    class _SeriesSink:
+        def __init__(self, name: str) -> None:
+            self.name = name
+
+        def merge(self, snapshot) -> None:
+            # Windowed series content joins the digest verbatim, so two
+            # cores with matching counters but diverging time-resolved
+            # windows still fingerprint differently.
+            counters[f"series::{self.name}"] = repr(snapshot)
+
     class _Registry:
         def counter(self, name: str) -> _Metric:
             return _Metric(name, False)
 
         def gauge(self, name: str) -> _Metric:
             return _Metric(name, True)
+
+        def series(self, name: str, window, agg, edges) -> _SeriesSink:
+            return _SeriesSink(name)
 
     network.publish_metrics(_Registry())
     stats = network.stats
@@ -513,14 +572,10 @@ def _run_arraycore_case(case: ArraycoreCase) -> None:
     from repro.noc.network import Network
     from repro.noc.packet import MessageType, Packet
 
-    if not HAVE_NUMPY:  # graceful no-op: the array core needs numpy
-        return
-    digests = {}
-    for name, cls in (("object", Network), ("array", ArrayNetwork)):
+    def run(factory) -> tuple:
         topology = _build_topology(NocCase(case.kind, case.cols, case.rows))
-        network = cls(
-            topology,
-            router_config=RouterConfig(single_cycle=bool(case.single_cycle)),
+        network = factory(
+            topology, RouterConfig(single_cycle=bool(case.single_cycle))
         )
         for spec in case.packets:
             packet = Packet(
@@ -528,22 +583,39 @@ def _run_arraycore_case(case: ArraycoreCase) -> None:
             )
             network.schedule_injection(packet, at_cycle=spec.inject_cycle)
         network.run_until_drained(max_cycles=20_000)
-        digests[name] = _core_digest(network)
-    if digests["object"] != digests["array"]:
+        return _core_digest(network)
+
+    # The scalar fallback sweeps run everywhere; the auto and forced
+    # whole-mesh vector sweeps join the diff when NumPy is present.
+    variants = [
+        ("array-scalar",
+         lambda t, c: ArrayNetwork(t, router_config=c, vectorize=False)),
+    ]
+    if HAVE_NUMPY:
+        variants.append(
+            ("array-auto", lambda t, c: ArrayNetwork(t, router_config=c))
+        )
+        variants.append(
+            ("array-vector",
+             lambda t, c: ArrayNetwork(t, router_config=c, vectorize=True))
+        )
+    reference = run(lambda t, c: Network(t, router_config=c))
+    for label, factory in variants:
+        digest = run(factory)
+        if digest == reference:
+            continue
         fields_ = (
             "cycles", "packets_injected", "flits_injected",
             "packets_delivered", "deliveries", "counters",
         )
         diffs = [
             name
-            for name, obj, arr in zip(
-                fields_, digests["object"], digests["array"]
-            )
+            for name, obj, arr in zip(fields_, reference, digest)
             if obj != arr
         ]
         raise ValidationError(
-            f"array core diverged from object core on {', '.join(diffs)}: "
-            f"object={digests['object']!r} array={digests['array']!r}"
+            f"{label} diverged from object core on {', '.join(diffs)}: "
+            f"object={reference!r} array={digest!r}"
         )
 
 
@@ -551,14 +623,14 @@ def _run_telemetry_case(case: TelemetryCase) -> None:
     import json
 
     from repro.config import RouterConfig
-    from repro.noc.arraycore import HAVE_NUMPY, ArrayNetwork
+    from repro.noc.arraycore import ArrayNetwork
     from repro.noc.network import Network
     from repro.noc.packet import MessageType, Packet
     from repro.telemetry.registry import MetricsRegistry
 
-    cores = [("object", Network)]
-    if HAVE_NUMPY:
-        cores.append(("array", ArrayNetwork))
+    # Without NumPy the array core degrades to its scalar sweeps, so the
+    # cross-core telemetry diff runs in every environment.
+    cores = [("object", Network), ("array", ArrayNetwork)]
     snapshots = {}
     for name, cls in cores:
         topology = _build_topology(NocCase(case.kind, case.cols, case.rows))

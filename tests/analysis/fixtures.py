@@ -172,6 +172,42 @@ FIXTURES = [
         "    return [hop for hop in set(links)]"
         "  # repro: allow[det-set-iter] -- fixture: order provably unused\n",
     ),
+    Fixture(
+        "det-np-unstable-sort", "determinism", "positive", "repro.noc.demo",
+        "import numpy as np\n\n\ndef rank(keys):\n"
+        "    return np.argsort(keys)\n",
+    ),
+    Fixture(
+        # The method form is numpy-specific (lists have no argsort).
+        "det-np-unstable-sort", "determinism", "positive", "repro.sim.demo",
+        "def order(scores):\n    return scores.argsort()\n",
+    ),
+    Fixture(
+        "det-np-unstable-sort", "determinism", "negative", "repro.noc.demo",
+        "import numpy as np\n\n\ndef rank(keys):\n"
+        "    return np.argsort(keys, kind=\"stable\")\n",
+    ),
+    Fixture(
+        # Outside the simulation core the rule does not apply.
+        "det-np-unstable-sort", "determinism", "negative",
+        "repro.experiments.demo",
+        "import numpy as np\n\n\ndef rank(keys):\n"
+        "    return np.argsort(keys)\n",
+    ),
+    Fixture(
+        "det-np-unstable-sort", "determinism", "suppressed",
+        "repro.noc.demo",
+        "import numpy as np\n\n\ndef rank(keys):\n"
+        "    return np.argsort(keys)"
+        "  # repro: allow[det-np-unstable-sort] -- fixture: keys unique\n",
+    ),
+    Fixture(
+        # numpy reductions over set expressions accumulate in hash order
+        # just like builtin sum.
+        "det-unordered-reduce", "determinism", "positive", "repro.noc.demo",
+        "import numpy as np\n\n\ndef total(latencies):\n"
+        "    return np.sum({lat for lat in latencies})\n",
+    ),
     # -- process safety -------------------------------------------------------
     Fixture(
         "proc-spec-pickle", "process-safety", "positive",

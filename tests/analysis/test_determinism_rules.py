@@ -23,7 +23,7 @@ def test_family_has_all_three_kinds_per_rule():
         kinds_by_rule.setdefault(fixture.rule, set()).add(fixture.kind)
     assert set(kinds_by_rule) == {
         "det-wallclock", "det-unseeded-random", "det-id-order",
-        "det-set-iter", "det-unordered-reduce",
+        "det-set-iter", "det-unordered-reduce", "det-np-unstable-sort",
     }
     for rule, kinds in kinds_by_rule.items():
         assert kinds == {"positive", "negative", "suppressed"}, rule

@@ -134,7 +134,7 @@ class TestDriving:
         assert families == {
             "determinism", "process-safety", "telemetry", "exceptions",
         }
-        assert len(rules) == 16
+        assert len(rules) == 17
         assert rule_by_id("det-wallclock").family == "determinism"
         with pytest.raises(AnalysisError, match="unknown rule"):
             rule_by_id("no-such-rule")

@@ -148,6 +148,7 @@ class TestCoreSelector:
         assert normalize_core(None) == "object"
         assert normalize_core("object") == "object"
         assert normalize_core("array") == "array"
+        assert normalize_core("array-scalar") == "array-scalar"
         with pytest.raises(SimulationError):
             normalize_core("simd")
 
@@ -159,6 +160,13 @@ class TestCoreSelector:
     def test_make_network_array(self):
         net = make_network(MeshTopology(2, 2), core="array")
         assert isinstance(net, ArrayNetwork)
+        assert net._vector
+
+    def test_make_network_array_scalar(self):
+        # The scalar core needs no numpy: it must construct either way.
+        net = make_network(MeshTopology(2, 2), core="array-scalar")
+        assert isinstance(net, ArrayNetwork)
+        assert not net._vector
 
     def test_cellspec_records_core(self):
         from repro.experiments.common import ExperimentConfig
@@ -232,12 +240,48 @@ class TestSoAPlumbing:
         assert results["ArrayNetwork"][0] >= 1
         assert results["ArrayNetwork"][1] == 4
 
-    def test_without_numpy_make_network_raises(self, monkeypatch):
+class TestScalarFallbackEquivalence:
+    """The no-NumPy code path is proven, not just the fast one: these
+    tests monkeypatch ``HAVE_NUMPY`` off (a no-op in a genuinely
+    numpy-free environment) and hold the scalar sweeps to the same
+    bit-equivalence contract as the vectorized ones. No ``needs_numpy``
+    marker on purpose -- this class runs in the no-numpy CI job too."""
+
+    @pytest.fixture(autouse=True)
+    def _force_scalar(self, monkeypatch):
         import repro.noc.arraycore as arraycore
 
         monkeypatch.setattr(arraycore, "HAVE_NUMPY", False)
+
+    def test_without_numpy_scalar_fallback(self):
+        # Without numpy the array core degrades to its scalar sweeps
+        # instead of refusing to construct; only forcing vectorize=True
+        # is an error.
+        net = ArrayNetwork(MeshTopology(2, 2))
+        assert not net._vector
         with pytest.raises(SimulationError, match="numpy"):
-            ArrayNetwork(MeshTopology(2, 2))
+            ArrayNetwork(MeshTopology(2, 2), vectorize=True)
+
+    @pytest.mark.parametrize("single_cycle", [True, False])
+    def test_mesh_unicast_fallback(self, single_cycle):
+        nodes = [(x, y) for x in range(5) for y in range(4)]
+        packets = _unicast_stream(nodes, 21, count=30, spacing=2)
+        digests = _run_both(
+            lambda: MeshTopology(5, 4), packets, single_cycle=single_cycle
+        )
+        assert digests["object"] == digests["array"]
+
+    def test_simplified_multicast_fallback(self):
+        rng = random.Random(23)
+        packets = []
+        for i in range(15):
+            x = rng.randrange(4)
+            column = tuple((x, y) for y in range(4))
+            packets.append(
+                (MessageType.READ_REQUEST, (x, 0), column, i * 3)
+            )
+        digests = _run_both(lambda: SimplifiedMeshTopology(4, 4), packets)
+        assert digests["object"] == digests["array"]
 
 
 @needs_numpy
