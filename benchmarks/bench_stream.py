@@ -1,0 +1,184 @@
+"""Runtime benchmark for the open-loop streaming service.
+
+Standalone (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py [--cycles N] [--jobs N]
+
+Times a fixed overload sweep (two admission policies x four offered
+loads on design C / duo-bursty) three ways -- serial, parallel, and a
+warm persistent cache -- checks the three produce bit-identical
+results, and measures raw single-cell serving throughput (simulated
+cycles and served requests per wall second) on both simulation cores.
+Human-readable output goes to ``benchmarks/out/stream.txt``; a
+``streaming`` section is merged into ``BENCH_runtime.json`` at the
+repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import reset_memo, run_cells
+from repro.experiments.stream_sweep import StreamSweepConfig, sweep_specs
+from repro.stream.engine import execute_stream_cell, stream_spec_for
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+OUT_DIR = pathlib.Path(__file__).resolve().parent / "out"
+
+
+def _signature(results) -> list:
+    return [
+        (
+            r.design, r.scheme, r.benchmark, r.offered, r.admitted,
+            r.rejected, r.completed, r.goodput_per_kcycle,
+            tuple(sorted(r.quantiles.items())),
+        )
+        for r in results
+    ]
+
+
+def bench_sweep(cycles: int, jobs: int) -> dict:
+    """The engine triangle on the reference overload sweep."""
+    config = StreamSweepConfig(cycles=cycles)
+    specs = sweep_specs(config)
+
+    reset_memo()
+    t0 = time.perf_counter()
+    serial = run_cells(specs, jobs=1, cache=None)
+    serial_s = time.perf_counter() - t0
+
+    reset_memo()
+    t0 = time.perf_counter()
+    parallel = run_cells(specs, jobs=jobs, cache=None)
+    parallel_s = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-stream-") as tmp:
+        cache = ResultCache(directory=tmp)
+        reset_memo()
+        run_cells(specs, jobs=1, cache=cache)
+        reset_memo()
+        t0 = time.perf_counter()
+        warm = run_cells(specs, jobs=1, cache=cache)
+        warm_cache_s = time.perf_counter() - t0
+        assert cache.stats.hits == len(specs), cache.stats
+
+    identical = (
+        _signature(serial) == _signature(parallel) == _signature(warm)
+    )
+    return {
+        "cells": len(specs),
+        "cycles": cycles,
+        "jobs": jobs,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "warm_cache_s": round(warm_cache_s, 3),
+        "parallel_speedup": round(serial_s / parallel_s, 2),
+        "bit_identical": identical,
+    }
+
+
+def bench_throughput(cycles: int) -> dict:
+    """Single-cell serving rate per core: cycles/s and requests/s."""
+    out = {}
+    for core in ("object", "array"):
+        spec = stream_spec_for(
+            "C", "drop-tail", "duo-bursty",
+            cycles=cycles, load=2.0, core=core,
+        )
+        execute_stream_cell(spec)  # warm import/trace caches
+        best = float("inf")
+        completed = 0
+        for _ in range(3):
+            t0 = time.perf_counter()
+            result = execute_stream_cell(spec)
+            best = min(best, time.perf_counter() - t0)
+            completed = result.completed
+        out[core] = {
+            "cell_s": round(best, 4),
+            "kcycles_per_s": round(cycles / best / 1000, 1),
+            "requests_per_s": round(completed / best, 1),
+        }
+    return out
+
+
+def render(section: dict) -> str:
+    sweep, throughput = section["sweep"], section["throughput"]
+    lines = [
+        "Streaming service benchmark",
+        "===========================",
+        f"host: {section['host']['platform']}, "
+        f"{section['host']['cpu_count']} core(s), "
+        f"python {section['host']['python']}",
+        "",
+        f"Overload sweep: {sweep['cells']} cells "
+        f"(2 policies x 4 loads, C/duo-bursty), "
+        f"cycles={sweep['cycles']}",
+        f"  serial          {sweep['serial_s']:8.3f} s",
+        f"  parallel (j={sweep['jobs']})  {sweep['parallel_s']:8.3f} s  "
+        f"(x{sweep['parallel_speedup']:.2f})",
+        f"  warm cache      {sweep['warm_cache_s']:8.3f} s",
+        f"  bit-identical across modes: {sweep['bit_identical']}",
+        "",
+        f"Single cell (C/duo-bursty, load 2.0, {sweep['cycles']} cycles):",
+    ]
+    for core in ("object", "array"):
+        cell = throughput[core]
+        lines.append(
+            f"  {core:<7} core  {cell['cell_s']:8.4f} s  "
+            f"({cell['kcycles_per_s']} kcycles/s, "
+            f"{cell['requests_per_s']} req/s)"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cycles", type=int, default=3000,
+                        help="open-loop cycles per cell (default 3000)")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="parallel worker count (0 = all cores)")
+    args = parser.parse_args(argv)
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+
+    section = {
+        "host": {
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "sweep": bench_sweep(args.cycles, jobs),
+        "throughput": bench_throughput(args.cycles),
+    }
+    text = render(section)
+    print(text)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "stream.txt").write_text(text + "\n", encoding="utf-8")
+
+    # Merge under a "streaming" key so sections owned by the sibling
+    # benchmarks survive a stream-only refresh.
+    bench_path = ROOT / "BENCH_runtime.json"
+    merged = (
+        json.loads(bench_path.read_text()) if bench_path.exists() else {}
+    )
+    merged["streaming"] = section
+    bench_path.write_text(
+        json.dumps(merged, indent=2) + "\n", encoding="utf-8"
+    )
+    if not section["sweep"]["bit_identical"]:
+        print("FAIL: sweep results diverged across modes", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

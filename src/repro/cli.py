@@ -12,6 +12,7 @@ report    regenerate every table and figure into one document
 cmp       multi-core shared-L2 scaling (future-work extension)
 snuca     S-NUCA vs D-NUCA baseline comparison
 faults    seeded fault-injection campaign (resilience curves)
+serve     open-loop streaming service with rolling SLO telemetry
 trace     generate a synthetic trace file
 validate  invariant checkers + differential oracle (+ --fuzz N)
 lint      determinism & process-safety static analysis (+ --types gate)
@@ -37,6 +38,8 @@ from repro.experiments import (
 )
 from repro.experiments.common import BENCHMARK_NAMES, ExperimentConfig
 from repro.noc.network import CORES
+from repro.stream.arrivals import MIX_NAMES
+from repro.stream.service import ADMISSION_POLICIES
 
 
 def _config(args: argparse.Namespace) -> ExperimentConfig:
@@ -269,6 +272,127 @@ def cmd_faults(args: argparse.Namespace) -> str:
     return fault_sweep.render(fault_sweep.run(config))
 
 
+def _render_serve_cell(spec, result) -> str:
+    """Summary + rolling per-window SLO table of one streaming cell."""
+    from repro.telemetry.registry import (
+        LATENCY_SLO_EDGES,
+        MetricsRegistry,
+        quantiles_from_counts,
+    )
+
+    summary = result.summary
+    lines = [
+        f"design {spec.design}, policy {spec.scheme}, mix {spec.benchmark}, "
+        f"load x{spec.load:g}, {spec.cycles} cycles, seed {spec.seed}, "
+        f"core {spec.core}",
+        f"offered {result.offered}, admitted {result.admitted} "
+        f"(availability {result.availability:.1%}), rejected "
+        f"{result.rejected} ({result.rejection_rate:.1%}), completed "
+        f"{result.completed}",
+        f"goodput {result.goodput_per_kcycle:.2f} req/kcycle, latency "
+        f"p50 {result.quantiles['p50']:.0f} / p95 "
+        f"{result.quantiles['p95']:.0f} / p99 "
+        f"{result.quantiles['p99']:.0f} cycles, queue high-water "
+        f"{summary['queue_high_water']}",
+    ]
+    for name in sorted(summary["tenants"]):
+        stats = summary["tenants"][name]
+        lines.append(
+            f"  tenant {name}: offered {stats['offered']}, rejected "
+            f"{stats['rejected']}, completed {stats['completed']}"
+        )
+    registry = MetricsRegistry()
+    registry.merge(result.metrics)
+    window = spec.window
+    latency = registry.series(
+        "stream.series.latency", window, "hist", LATENCY_SLO_EDGES
+    )
+    offered = dict(
+        registry.series("stream.series.offered", window).windows
+    )
+    completed = dict(
+        registry.series("stream.series.completed", window).windows
+    )
+    rejected = dict(
+        registry.series("stream.series.rejected", window).windows
+    )
+    rows = latency.window_quantiles()
+    lines.append("")
+    lines.append(
+        f"{'window':>8} {'offered':>8} {'completed':>9} {'rejected':>8} "
+        f"{'p50':>6} {'p95':>6} {'p99':>6}"
+    )
+    limit = 16
+    for index, qs in rows[:limit]:
+        lines.append(
+            f"{index * window:>8} {offered.get(index, 0):>8} "
+            f"{completed.get(index, 0):>9} {rejected.get(index, 0):>8} "
+            f"{qs['p50']:>6.0f} {qs['p95']:>6.0f} {qs['p99']:>6.0f}"
+        )
+    if len(rows) > limit:
+        lines.append(f"... {len(rows) - limit} more windows")
+    return "\n".join(lines)
+
+
+def cmd_serve(args: argparse.Namespace) -> str:
+    from repro.experiments import stream_sweep
+    from repro.experiments.runner import run_cells
+    from repro.stream import stream_spec_for
+
+    window = args.window if args.window > 0 else 64
+    core = getattr(args, "core", "object")
+    if args.sweep:
+        config = stream_sweep.StreamSweepConfig(
+            design=args.design,
+            mix=args.mix,
+            loads=tuple(args.sweep),
+            cycles=args.cycles,
+            seed=args.seed,
+            queue_limit=args.queue_limit,
+            max_outstanding=args.outstanding,
+            token_rate=args.token_rate,
+            token_burst=args.token_burst,
+            core=core,
+            window=window,
+        )
+        out = stream_sweep.render(config, stream_sweep.run_sweep(config))
+    else:
+        spec = stream_spec_for(
+            args.design,
+            args.policy,
+            args.mix,
+            seed=args.seed,
+            cycles=args.cycles,
+            load=args.load,
+            queue_limit=args.queue_limit,
+            max_outstanding=args.outstanding,
+            token_rate=args.token_rate,
+            token_burst=args.token_burst,
+            core=core,
+            window=window,
+            drain=not args.no_drain,
+        )
+        out = _render_serve_cell(spec, run_cells([spec])[0])
+    if args.metrics_out:
+        # Write the serve payload here (metrics + provenance only): the
+        # generic main() payload includes the batch journal, whose wall
+        # times would break the byte-identical-metrics guarantee.
+        import json
+
+        from repro import telemetry
+
+        payload = {
+            "metrics": telemetry.global_registry().snapshot(),
+            "provenance": telemetry.provenance_block(),
+        }
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+        args.metrics_out = None
+    return out
+
+
 def cmd_lint(args: argparse.Namespace) -> str:
     from repro.analysis import analyze_paths, render_findings
     from repro.analysis.__main__ import list_rules
@@ -478,6 +602,51 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fault-plan sampling seed (default: --seed)")
     common(faults)
     faults.set_defaults(handler=cmd_faults)
+
+    serve = sub.add_parser(
+        "serve",
+        help="open-loop streaming service with rolling SLO telemetry",
+        description=(
+            "Serve multi-tenant open-loop request streams (Zipf content, "
+            "Poisson/bursty/diurnal arrivals) through the flit-level "
+            "fabric with bounded admission queues, and report rolling "
+            "per-window p50/p95/p99 latency, goodput, rejection rate, "
+            "and availability via the windowed Series telemetry. "
+            "--window defaults to 64 cycles here (SLO series need one). "
+            "With --sweep L1 L2 ...: run the offered-load x admission-"
+            "policy overload grid through the experiment engine instead."
+        ),
+    )
+    serve.add_argument("--design", choices=DESIGN_NAMES, default="C")
+    serve.add_argument("--mix", choices=MIX_NAMES, default="duo-bursty",
+                       help="named tenant mix (default duo-bursty)")
+    serve.add_argument("--policy", choices=ADMISSION_POLICIES,
+                       default="drop-tail",
+                       help="admission control at the hub issue port")
+    serve.add_argument("--cycles", type=int, default=4000, metavar="N",
+                       help="open-loop cycle budget (default 4000)")
+    serve.add_argument("--load", type=float, default=1.0, metavar="X",
+                       help="offered-load multiplier on the mix's "
+                            "calibrated rates (default 1.0)")
+    serve.add_argument("--queue-limit", type=int, default=32, metavar="N",
+                       help="admission queue bound (default 32)")
+    serve.add_argument("--outstanding", type=int, default=8, metavar="N",
+                       help="max in-flight transactions (default 8)")
+    serve.add_argument("--token-rate", type=float, default=0.12,
+                       metavar="R",
+                       help="token-bucket refill per cycle (default 0.12)")
+    serve.add_argument("--token-burst", type=float, default=8.0,
+                       metavar="B",
+                       help="token-bucket capacity (default 8.0)")
+    serve.add_argument("--no-drain", action="store_true",
+                       help="stop at the cycle budget without draining "
+                            "in-flight transactions")
+    serve.add_argument("--sweep", type=float, nargs="+", default=None,
+                       metavar="LOAD",
+                       help="sweep these load multipliers across both "
+                            "admission policies through run_cells")
+    common(serve)
+    serve.set_defaults(handler=cmd_serve)
 
     validate = sub.add_parser(
         "validate",

@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
 from repro import telemetry
 from repro.core.system import NetworkedCacheSystem, RunResult
+from repro.errors import ConfigurationError
 from repro.experiments.cache import ResultCache
 
 if TYPE_CHECKING:
@@ -284,8 +285,8 @@ def _rebuild_uniform_halo(system: NetworkedCacheSystem, wire_scale: int) -> None
     system.engine = TransactionEngine(system.geometry, system.memory, system.scheme)
 
 
-def execute_cell(spec: CellSpec) -> RunResult:
-    """Run one cell from scratch (no caches). Top-level and picklable."""
+def _execute_cell_spec(spec: CellSpec) -> RunResult:
+    """Run one trace-replay cell from scratch (no caches)."""
     from repro.workloads.profiles import profile_by_name
 
     profile = profile_by_name(spec.benchmark)
@@ -299,6 +300,40 @@ def execute_cell(spec: CellSpec) -> RunResult:
     result.wall_s = time.perf_counter() - started
     result.provenance = telemetry.provenance_block(spec)
     return result
+
+
+#: Executors for additional spec families (e.g. repro.stream's
+#: ``StreamSpec``), keyed by exact spec type. Registration happens at the
+#: spec module's import time, so worker processes pick it up simply by
+#: unpickling a spec (unpickling imports its defining module).
+_spec_executors: dict[type, Callable[[Any], Any]] = {}
+
+
+def register_spec_executor(
+    spec_type: type, executor: Callable[[Any], Any]
+) -> None:
+    """Register *executor* as the from-scratch runner for *spec_type*.
+
+    The spec type must be a frozen picklable dataclass exposing the
+    ``design``/``scheme``/``benchmark``/``seed`` reporting coordinates
+    and a stable ``key()`` for the persistent cache, and the executor a
+    top-level function returning a result whose optional ``metrics``
+    snapshot merges into the global registry (like ``RunResult``).
+    """
+    _spec_executors[spec_type] = executor
+
+
+def execute_cell(spec: Any) -> Any:
+    """Run one cell from scratch (no caches). Top-level and picklable."""
+    if type(spec) is CellSpec:
+        return _execute_cell_spec(spec)
+    executor = _spec_executors.get(type(spec))
+    if executor is None:
+        raise ConfigurationError(
+            f"no executor registered for spec type {type(spec).__name__}; "
+            "import its defining module before run_cells"
+        )
+    return executor(spec)
 
 
 # -- engine configuration ----------------------------------------------------
@@ -315,7 +350,8 @@ class EngineSettings:
 _settings = EngineSettings()
 
 #: In-process memo: spec -> result (the figure drivers share many cells).
-_memo: dict[CellSpec, RunResult] = {}
+#: Keyed by any registered spec family, not just CellSpec.
+_memo: dict[Any, Any] = {}
 
 
 def configure(
@@ -433,11 +469,11 @@ _UNSET = object()
 
 
 def run_cells(
-    specs: Sequence[CellSpec],
+    specs: Sequence[Any],
     jobs: int | None = None,
     cache: ResultCache | None | object = _UNSET,
     progress: Callable[[int, int], None] | None = None,
-) -> list[RunResult]:
+) -> list[Any]:
     """Evaluate *specs* and return their results in input order.
 
     Repeated specs are evaluated once. Results come from, in order: the
@@ -458,15 +494,15 @@ def run_cells(
         cache = _settings.cache
     batch_started = time.perf_counter()
 
-    unique: list[CellSpec] = []
-    seen: set[CellSpec] = set()
+    unique: list[Any] = []
+    seen: set[Any] = set()
     for spec in specs:
         if spec not in seen:
             seen.add(spec)
             unique.append(spec)
 
-    sources: dict[CellSpec, str] = {}
-    todo: list[CellSpec] = []
+    sources: dict[Any, str] = {}
+    todo: list[Any] = []
     for spec in unique:
         if spec in _memo:
             sources[spec] = "memo"
@@ -483,7 +519,7 @@ def run_cells(
     if todo:
         executed = 0
 
-        def commit(spec: CellSpec, result: RunResult) -> None:
+        def commit(spec: Any, result: Any) -> None:
             nonlocal executed
             _memo[spec] = result
             if cache is not None:
@@ -530,10 +566,10 @@ def run_cells(
 
 
 def _run_pool(
-    todo: list[CellSpec],
+    todo: list[Any],
     jobs: int,
-    commit: Callable[[CellSpec, RunResult], None],
-) -> list[CellSpec]:
+    commit: Callable[[Any, Any], None],
+) -> list[Any]:
     """Fan *todo* over a process pool; returns cells still unevaluated.
 
     Futures are drained in submission order so results commit

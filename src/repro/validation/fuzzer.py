@@ -1,6 +1,6 @@
 """Seeded fuzzer: random geometries, traffic, and traces under checkers.
 
-``fuzz(n, seed)`` samples cases from seven families:
+``fuzz(n, seed)`` samples cases from eight families:
 
 * **noc** -- a random mesh / simplified-mesh / halo geometry with random
   unicast and multicast packets at random injection cycles, driven to
@@ -31,7 +31,14 @@
   cores with a random windowed-series sample size, requiring the full
   published registry snapshots (series windows, per-link flit counts,
   per-VC occupancy, credit stalls) to be byte-identical across cores
-  and order-independent under merge.
+  and order-independent under merge;
+* **stream** -- a random multi-tenant open-loop mix (random rates,
+  Zipf skews, catalogs, and arrival processes) served through
+  :class:`repro.stream.service.StreamService` on a random design and
+  admission policy, checking admission conservation
+  (offered == admitted + rejected == completed + rejected after
+  drain), object-core determinism under re-run, cross-core snapshot
+  byte-equality, and merge order-independence of the SLO telemetry.
 
 Every case is a plain dataclass whose ``repr`` round-trips, so a failing
 case shrinks (greedy delta-debugging over its packets / accesses /
@@ -168,6 +175,27 @@ class TelemetryCase:
     window: int = 16
     single_cycle: bool = True
     packets: tuple = ()
+
+
+@dataclass(frozen=True)
+class StreamCase:
+    """A random open-loop tenant mix served under admission control.
+
+    ``mix`` holds one ``(name, rate_per_kcycle, zipf_alpha,
+    catalog_blocks, process)`` tuple per tenant -- primitives only, so
+    the repr round-trips into an emitted pytest repro. The case runs on
+    both simulation cores and fails on any conservation break,
+    determinism break, or cross-core telemetry divergence.
+    """
+
+    design: str  # a Table-3 design key (mesh / simplified / halo)
+    mix: tuple = ()
+    cycles: int = 600
+    policy: str = "drop-tail"
+    queue_limit: int = 8
+    max_outstanding: int = 4
+    window: int = 32
+    seed: int = 0
 
 
 @dataclass(frozen=True)
@@ -360,6 +388,41 @@ def _make_faults_case(rng: random.Random) -> FaultsCase:
     )
 
 
+#: Tenant names for generated stream mixes (order = tenant count).
+_STREAM_TENANTS = ("alfa", "bravo", "chad")
+
+#: One design per topology family keeps stream cases cheap but covers
+#: the mesh, simplified-mesh, and halo service paths (C is the small
+#: 16x4 design; F exercises the off-network halo memory leg).
+_STREAM_DESIGNS = ("A", "C", "F")
+
+
+def _make_stream_case(rng: random.Random) -> StreamCase:
+    from repro.stream.arrivals import ARRIVAL_PROCESSES
+    from repro.stream.service import ADMISSION_POLICIES
+
+    mix = tuple(
+        (
+            _STREAM_TENANTS[i],
+            float(rng.randint(10, 60)),
+            rng.choice((0.6, 0.8, 0.9, 1.1)),
+            rng.choice((64, 128, 256, 512)),
+            rng.choice(ARRIVAL_PROCESSES),
+        )
+        for i in range(rng.randint(1, len(_STREAM_TENANTS)))
+    )
+    return StreamCase(
+        design=rng.choice(_STREAM_DESIGNS),
+        mix=mix,
+        cycles=rng.choice((400, 600, 800, 1200)),
+        policy=rng.choice(ADMISSION_POLICIES),
+        queue_limit=rng.randint(4, 16),
+        max_outstanding=rng.randint(2, 8),
+        window=rng.choice((16, 32, 64)),
+        seed=rng.randint(0, 99),
+    )
+
+
 #: Identifier pool for generated analysis snippets.
 _ANALYSIS_NAMES = ("probe", "sweep", "drain", "refill", "collect", "replay")
 
@@ -456,11 +519,12 @@ _FAMILY_MAKERS = {
     "analysis": _make_analysis_case,
     "arraycore": _make_arraycore_case,
     "telemetry": _make_telemetry_case,
+    "stream": _make_stream_case,
 }
 
 DEFAULT_FAMILIES = (
     "noc", "cache", "faults", "analysis", "arraycore", "noc", "telemetry",
-    "cache", "oracle", "arraycore", "telemetry",
+    "cache", "oracle", "arraycore", "telemetry", "stream",
 )
 
 
@@ -676,6 +740,84 @@ def _run_telemetry_case(case: TelemetryCase) -> None:
         )
 
 
+def _run_stream_case(case: StreamCase) -> None:
+    import json
+
+    from repro.stream.arrivals import TenantSpec, generate_arrivals
+    from repro.stream.service import StreamService
+    from repro.telemetry.registry import MetricsRegistry
+
+    tenants = tuple(
+        TenantSpec(
+            name,
+            rate_per_kcycle=rate,
+            process=process,
+            zipf_alpha=alpha,
+            catalog_blocks=catalog,
+        )
+        for name, rate, alpha, catalog, process in case.mix
+    )
+    requests = generate_arrivals(tenants, case.cycles, case.seed)
+
+    def run(core: str) -> dict:
+        service = StreamService(
+            case.design,
+            core=core,
+            window=case.window,
+            policy=case.policy,
+            queue_limit=case.queue_limit,
+            max_outstanding=case.max_outstanding,
+        )
+        service.run(requests, case.cycles)
+        rejected = sum(service.rejected.values())
+        if service.offered != service.admitted + rejected:
+            raise ValidationError(
+                f"admission conservation broke on {core} core: "
+                f"offered {service.offered} != admitted {service.admitted} "
+                f"+ rejected {rejected}"
+            )
+        if service.admitted != service.completed:
+            raise ValidationError(
+                f"drain left work behind on {core} core: admitted "
+                f"{service.admitted} != completed {service.completed}"
+            )
+        registry = MetricsRegistry()
+        service.publish_metrics(registry)
+        return registry.snapshot()
+
+    snapshots = {core: run(core) for core in ("object", "array")}
+    texts = {
+        core: json.dumps(snap, sort_keys=True)
+        for core, snap in snapshots.items()
+    }
+    if texts["object"] != texts["array"]:
+        diffs = sorted(
+            key
+            for key in set(snapshots["object"]) | set(snapshots["array"])
+            if snapshots["object"].get(key) != snapshots["array"].get(key)
+        )
+        raise ValidationError(
+            "stream telemetry diverged between cores on: "
+            + ", ".join(diffs[:8])
+        )
+    if json.dumps(run("object"), sort_keys=True) != texts["object"]:
+        raise ValidationError(
+            "stream service is nondeterministic: object-core re-run "
+            "produced a different snapshot"
+        )
+    forward, reverse = MetricsRegistry(), MetricsRegistry()
+    ordered = [snapshots["object"], snapshots["array"]]
+    for snap in ordered:
+        forward.merge(snap)
+    for snap in reversed(ordered):
+        reverse.merge(snap)
+    if forward.snapshot() != reverse.snapshot():
+        raise ValidationError(
+            "stream telemetry merge is order-dependent: forward != "
+            "reverse fold of the per-core snapshots"
+        )
+
+
 def _make_policy(name: str):
     from repro.cache.replacement import PromotionPolicy, policy_by_name
 
@@ -774,6 +916,8 @@ def run_case(case) -> None:
         _run_arraycore_case(case)
     elif isinstance(case, TelemetryCase):
         _run_telemetry_case(case)
+    elif isinstance(case, StreamCase):
+        _run_stream_case(case)
     elif isinstance(case, AnalysisCase):
         _run_analysis_case(case)
     else:
@@ -851,6 +995,19 @@ def shrink_case(case):
             lambda kept: _fails(replace(case, packets=tuple(kept))),
         )
         return replace(case, packets=tuple(packets))
+    if isinstance(case, StreamCase):
+        mix = shrink_list(
+            list(case.mix),
+            lambda kept: _fails(replace(case, mix=tuple(kept))),
+        )
+        case = replace(case, mix=tuple(mix))
+        for cycles in (100, 200, 400, 800):
+            if cycles >= case.cycles:
+                break
+            candidate = replace(case, cycles=cycles)
+            if _fails(candidate):
+                return candidate
+        return case
     if isinstance(case, FaultsCase):
         packets = shrink_list(
             list(case.packets),
@@ -879,6 +1036,7 @@ _CASE_IMPORTS = {
     AnalysisCase: "AnalysisCase",
     ArraycoreCase: "ArraycoreCase, PacketSpec",
     TelemetryCase: "TelemetryCase, PacketSpec",
+    StreamCase: "StreamCase",
 }
 
 

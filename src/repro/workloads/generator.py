@@ -13,7 +13,7 @@ The paper simulates billions of instructions against 16 K sets; at
 laptop-trace scale (tens of thousands of accesses) each set would see less
 than one access and the bank-set stacks would never develop realistic
 depth. We therefore use standard *set sampling*: traffic is concentrated
-into ``index_space`` (default 64) of the 1024 index values, shrinking the
+into ``index_space`` (default 8) of the 1024 index values, shrinking the
 effective cache to ``16 columns x index_space x 16 ways`` blocks while
 keeping every column, way, and network path exercised. Benchmark
 footprints in :mod:`repro.workloads.profiles` are calibrated against this

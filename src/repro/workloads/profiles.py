@@ -7,8 +7,8 @@ L2 lands in the regime the paper reports for each benchmark:
 
 * ``footprint_blocks`` -- distinct 64 B blocks the benchmark touches,
   calibrated against the *set-sampled* effective cache of the default
-  trace generator (16 columns x 64 indexes x 16 ways = 16384 blocks):
-  ``art`` fits entirely, ``mcf`` overflows it roughly tenfold;
+  trace generator (16 columns x 8 indexes x 16 ways = 2048 blocks):
+  ``art`` fits entirely, ``mcf`` overflows it roughly 2.5-fold;
 * ``zipf_alpha`` -- reuse skew (higher = hotter head = more MRU-bank hits);
 * ``stream_fraction`` -- share of accesses that touch never-seen blocks
   (compulsory-miss streams, dominant in ``applu``/``lucas``);

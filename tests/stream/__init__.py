@@ -1,0 +1,1 @@
+"""Open-loop streaming service tests."""

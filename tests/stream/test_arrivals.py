@@ -1,0 +1,124 @@
+"""Open-loop arrival generation: determinism, classification, mixes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stream.arrivals import (
+    ARRIVAL_PROCESSES,
+    MIX_NAMES,
+    NUM_COLUMNS,
+    TENANT_MIXES,
+    TenantSpec,
+    generate_arrivals,
+    generate_tenant_arrivals,
+    tenant_mix,
+)
+
+
+def _tenant(**overrides) -> TenantSpec:
+    values = dict(name="t0", rate_per_kcycle=40.0)
+    values.update(overrides)
+    return TenantSpec(**values)
+
+
+class TestTenantSpec:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            _tenant(name="")
+        with pytest.raises(ConfigurationError):
+            _tenant(rate_per_kcycle=0.0)
+        with pytest.raises(ConfigurationError):
+            _tenant(process="sawtooth")
+        with pytest.raises(ConfigurationError):
+            _tenant(catalog_blocks=0)
+        with pytest.raises(ConfigurationError):
+            _tenant(resident_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            _tenant(resident_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            _tenant(burst_boost=0.5)
+        with pytest.raises(ConfigurationError):
+            _tenant(diurnal_amplitude=1.0)
+
+    def test_scaled_multiplies_only_the_rate(self):
+        tenant = _tenant(process="bursty", zipf_alpha=1.1)
+        doubled = tenant.scaled(2.0)
+        assert doubled.rate_per_kcycle == tenant.rate_per_kcycle * 2
+        assert doubled.name == tenant.name
+        assert doubled.process == tenant.process
+        assert doubled.zipf_alpha == tenant.zipf_alpha
+        with pytest.raises(ConfigurationError):
+            tenant.scaled(0.0)
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        tenant = _tenant()
+        first = generate_tenant_arrivals(tenant, 2000, seed=7)
+        second = generate_tenant_arrivals(tenant, 2000, seed=7)
+        assert first == second
+        assert first != generate_tenant_arrivals(tenant, 2000, seed=8)
+
+    def test_requests_classified_in_range(self):
+        tenant = _tenant(catalog_blocks=128, resident_fraction=0.5)
+        requests = generate_tenant_arrivals(tenant, 4000, seed=1)
+        assert requests
+        for request in requests:
+            assert 0 <= request.cycle < 4000
+            assert 0 <= request.column < NUM_COLUMNS
+            assert 0.0 <= request.depth_unit < 1.0
+            assert request.tenant == tenant.name
+        # A 0.5-resident catalog must produce both hits and misses.
+        assert {request.hit for request in requests} == {True, False}
+
+    def test_rate_roughly_matches_offered_load(self):
+        tenant = _tenant(rate_per_kcycle=50.0)
+        requests = generate_tenant_arrivals(tenant, 20_000, seed=3)
+        # 50/kcycle over 20 kcycles => ~1000; allow wide Poisson slack.
+        assert 700 <= len(requests) <= 1300
+
+    @pytest.mark.parametrize("process", ARRIVAL_PROCESSES)
+    def test_every_process_produces_arrivals(self, process):
+        tenant = _tenant(process=process, rate_per_kcycle=30.0)
+        assert generate_tenant_arrivals(tenant, 8000, seed=2)
+
+    def test_merged_schedule_sorted_and_disjoint(self):
+        tenants = (
+            _tenant(name="a", rate_per_kcycle=30.0),
+            _tenant(name="b", rate_per_kcycle=20.0, process="bursty"),
+        )
+        merged = generate_arrivals(tenants, 3000, seed=5)
+        assert merged == sorted(merged, key=lambda r: r.cycle)
+        for tenant in tenants:
+            solo = generate_tenant_arrivals(tenant, 3000, seed=5)
+            assert [r for r in merged if r.tenant == tenant.name] == solo
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            generate_tenant_arrivals(_tenant(), 0, seed=1)
+        with pytest.raises(ConfigurationError):
+            generate_arrivals((), 100, seed=1)
+        with pytest.raises(ConfigurationError):
+            generate_arrivals((_tenant(), _tenant()), 100, seed=1)
+
+
+class TestMixes:
+    def test_named_mixes_generate(self):
+        for name in MIX_NAMES:
+            requests = generate_arrivals(tenant_mix(name), 2000, seed=0)
+            assert requests
+            assert {r.tenant for r in requests} <= {
+                t.name for t in TENANT_MIXES[name]
+            }
+
+    def test_load_scaling_scales_every_tenant(self):
+        base = tenant_mix("duo-bursty")
+        heavy = tenant_mix("duo-bursty", load=3.0)
+        for tenant, scaled in zip(base, heavy):
+            assert scaled.rate_per_kcycle == pytest.approx(
+                3.0 * tenant.rate_per_kcycle
+            )
+
+    def test_unknown_mix_raises(self):
+        with pytest.raises(ConfigurationError):
+            tenant_mix("quad-nope")

@@ -1,0 +1,66 @@
+"""The set-sampling calibration prose must match the actual constants.
+
+The generator and profiles docstrings both state the effective
+set-sampled cache size in words; these regress the numbers in that prose
+against ``DEFAULT_INDEX_SPACE`` and the address layout, so shrinking or
+widening the sampled index space forces the documentation along.
+"""
+
+import re
+
+from repro.config import AddressLayout
+from repro.workloads import generator as generator_module
+from repro.workloads import profiles as profiles_module
+from repro.workloads.profiles import profile_by_name
+
+WAYS = 16
+COLUMNS = AddressLayout().num_columns
+
+
+def _effective_blocks() -> int:
+    return COLUMNS * generator_module.DEFAULT_INDEX_SPACE * WAYS
+
+
+def test_generator_docstring_quotes_the_real_default():
+    match = re.search(
+        r"``index_space`` \(default (\d+)\)", generator_module.__doc__
+    )
+    assert match, "generator docstring no longer documents the default"
+    assert int(match.group(1)) == generator_module.DEFAULT_INDEX_SPACE
+
+
+def test_generator_constant_comment_matches_the_arithmetic():
+    # The inline comment next to DEFAULT_INDEX_SPACE spells out the
+    # effective-block arithmetic; keep it honest.
+    source = open(generator_module.__file__, encoding="utf-8").read()
+    match = re.search(
+        r"(\d+) indexes x (\d+) columns x (\d+) ways = (\d+) effective",
+        source,
+    )
+    assert match, "DEFAULT_INDEX_SPACE comment no longer shows the product"
+    indexes, columns, ways, total = map(int, match.groups())
+    assert indexes == generator_module.DEFAULT_INDEX_SPACE
+    assert columns == COLUMNS
+    assert ways == WAYS
+    assert total == indexes * columns * ways == _effective_blocks()
+
+
+def test_profiles_docstring_matches_effective_capacity():
+    match = re.search(
+        r"\((\d+) columns x (\d+) indexes x (\d+) ways = (\d+) blocks\)",
+        profiles_module.__doc__,
+    )
+    assert match, "profiles docstring no longer states the effective cache"
+    columns, indexes, ways, total = map(int, match.groups())
+    assert columns == COLUMNS
+    assert indexes == generator_module.DEFAULT_INDEX_SPACE
+    assert ways == WAYS
+    assert total == columns * indexes * ways == _effective_blocks()
+
+
+def test_docstring_fit_claims_hold_for_art_and_mcf():
+    # "art fits entirely, mcf overflows it roughly 2.5-fold."
+    effective = _effective_blocks()
+    assert profile_by_name("art").footprint_blocks <= effective
+    ratio = profile_by_name("mcf").footprint_blocks / effective
+    assert 2.0 <= ratio <= 3.0
