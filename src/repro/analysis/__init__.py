@@ -16,21 +16,37 @@ review time instead (DESIGN.md §12):
   outside the registry, trace sinks constructed outside the telemetry
   layer, wall-clock or host identity leaking into sink payloads;
 * :mod:`repro.analysis.discipline` -- bare/silent exception handlers and
-  non-taxonomy raises in the kernel/router hot paths.
+  non-taxonomy raises in the kernel/router hot paths;
+* :mod:`repro.analysis.dataflow` -- whole-program forward taint
+  propagation (DESIGN.md §16): wall-clock / RNG / ``id()`` / set-order
+  values must not reach sim state, telemetry payloads, or experiment
+  identity, even through assignments, returns, and cross-module calls;
+* :mod:`repro.analysis.catalog` -- the static telemetry-key catalog:
+  every metric/series key the tree can emit, linted for collisions,
+  near-miss typos, undocumented keys, and catalog staleness;
+* :mod:`repro.analysis.contracts` -- the object core and the array core
+  must agree on the cycle phase order and the stringified-port
+  tie-breaks that the bit-equivalence suite depends on.
 
 Run it as ``repro lint`` or ``python -m repro.analysis``. Findings are
 suppressed per line with ``# repro: allow[rule-id] -- justification``;
 the justification is mandatory, an empty one is itself a finding.
+Project-wide findings ratchet through the shrink-only
+``lint-baseline.txt`` (:mod:`repro.analysis.baseline`), mirroring the
+``typegate`` mypy baseline.
 """
 
 from repro.analysis.core import (
     AnalysisError,
     Finding,
     ModuleInfo,
+    ProjectIndex,
+    ProjectRule,
     Rule,
     all_rules,
     analyze_paths,
     analyze_source,
+    build_index,
     iter_python_files,
     module_name_for,
     parse_suppressions,
@@ -39,6 +55,9 @@ from repro.analysis.core import (
 )
 
 # Importing the rule modules registers their rules with the registry.
+from repro.analysis import catalog as _catalog  # noqa: F401
+from repro.analysis import contracts as _contracts  # noqa: F401
+from repro.analysis import dataflow as _dataflow  # noqa: F401
 from repro.analysis import determinism as _determinism  # noqa: F401
 from repro.analysis import discipline as _discipline  # noqa: F401
 from repro.analysis import process_safety as _process_safety  # noqa: F401
@@ -48,10 +67,13 @@ __all__ = [
     "AnalysisError",
     "Finding",
     "ModuleInfo",
+    "ProjectIndex",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "analyze_paths",
     "analyze_source",
+    "build_index",
     "iter_python_files",
     "module_name_for",
     "parse_suppressions",

@@ -1,0 +1,161 @@
+"""Shrink-only lint-finding baseline: the ``typegate`` ratchet for lint.
+
+New rule families land against an existing tree; grandfathering their
+historical findings must not hide *new* ones. ``lint-baseline.txt`` at
+the repository root lists the findings that predate a rule (as
+``path:rule:count`` entries). The gate fails when a (path, rule) pair
+has more findings than its baseline entry allows or is not listed at
+all; it flags entries whose counts have dropped (tighten them -- the
+ratchet only turns one way). ``repro lint --update-lint-baseline``
+rewrites the file from a fresh run.
+
+The tree currently lints clean, so the shipped baseline is empty --
+the file exists to pin the ratchet's starting point at zero.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.analysis.core import AnalysisError, Finding
+
+#: Default baseline location, relative to the repository root.
+BASELINE_NAME = "lint-baseline.txt"
+
+_HEADER = (
+    "# Lint findings grandfathered before their rule existed, as\n"
+    "# path:rule:count entries (ratcheted: counts may only shrink;\n"
+    "# regenerate with `repro lint --update-lint-baseline`).\n"
+)
+
+
+def parse_entry(line: str) -> tuple[str, str, int]:
+    """Split one ``path:rule:count`` baseline line."""
+    path, _, rest = line.rpartition(":")
+    prefix, _, rule = path.rpartition(":")
+    if not prefix or not rule or not rest.isdigit() or int(rest) < 1:
+        raise AnalysisError(
+            f"malformed lint-baseline entry {line!r}; "
+            "expected path:rule:count with count >= 1"
+        )
+    return prefix, rule, int(rest)
+
+
+def load_baseline(path: str | pathlib.Path) -> dict[tuple[str, str], int]:
+    """Read the baseline; raises :class:`AnalysisError` on damage."""
+    file_path = pathlib.Path(path)
+    if not file_path.exists():
+        return {}
+    lines = [
+        line.strip()
+        for line in file_path.read_text(encoding="utf-8").splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    ]
+    if lines != sorted(lines):
+        raise AnalysisError(f"{file_path}: entries must be sorted")
+    if len(lines) != len(set(lines)):
+        raise AnalysisError(f"{file_path}: entries must be unique")
+    allowed: dict[tuple[str, str], int] = {}
+    for line in lines:
+        file_name, rule, count = parse_entry(line)
+        key = (file_name, rule)
+        if key in allowed:
+            raise AnalysisError(
+                f"{file_path}: duplicate entry for {file_name}:{rule}"
+            )
+        allowed[key] = count
+    return allowed
+
+
+def count_findings(findings: list[Finding]) -> dict[tuple[str, str], int]:
+    counts: dict[tuple[str, str], int] = {}
+    for finding in findings:
+        key = (finding.path, finding.rule)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+@dataclass
+class BaselineReport:
+    """Outcome of judging one lint run against the baseline."""
+
+    #: findings above their baseline allowance (these fail the gate).
+    offenders: list[Finding] = field(default_factory=list)
+    #: baseline keys whose counts dropped (ratchet: tighten the file).
+    stale: list[str] = field(default_factory=list)
+    #: findings absorbed by baseline entries (informational).
+    absorbed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.offenders
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.offenders]
+        for entry in self.stale:
+            lines.append(
+                f"lint baseline: {entry} has fewer findings than baselined; "
+                f"shrink {BASELINE_NAME} (or run --update-lint-baseline)"
+            )
+        verdict = "ok" if self.ok else "FAILED"
+        noun = "finding" if len(self.offenders) == 1 else "findings"
+        lines.append(
+            f"repro lint: {verdict} ({len(self.offenders)} {noun} above "
+            f"baseline, {self.absorbed} baselined, "
+            f"{len(self.stale)} stale entr(ies))"
+        )
+        return "\n".join(lines)
+
+
+def evaluate(
+    findings: list[Finding], allowed: dict[tuple[str, str], int]
+) -> BaselineReport:
+    """Judge *findings* against the baseline allowances.
+
+    Within one (path, rule) bucket the allowance absorbs the *first*
+    ``count`` findings in location order -- deterministic, and biased
+    toward surfacing the newest (usually lowest-in-file-is-oldest is
+    not knowable statically, so location order is the stable choice).
+    """
+    report = BaselineReport()
+    counts = count_findings(findings)
+    seen: dict[tuple[str, str], int] = {}
+    for finding in sorted(findings):
+        key = (finding.path, finding.rule)
+        used = seen.get(key, 0)
+        if used < allowed.get(key, 0):
+            seen[key] = used + 1
+            report.absorbed += 1
+        else:
+            report.offenders.append(finding)
+    for (path, rule), allowance in sorted(allowed.items()):
+        if counts.get((path, rule), 0) < allowance:
+            report.stale.append(f"{path}:{rule}:{allowance}")
+    return report
+
+
+def write_baseline(
+    findings: list[Finding], path: str | pathlib.Path
+) -> None:
+    """Rewrite the baseline file from a fresh run's findings."""
+    counts = count_findings(findings)
+    entries = sorted(
+        f"{file_name}:{rule}:{count}"
+        for (file_name, rule), count in counts.items()
+    )
+    pathlib.Path(path).write_text(
+        _HEADER + "".join(entry + "\n" for entry in entries),
+        encoding="utf-8",
+    )
+
+
+def check_baseline(
+    findings: list[Finding],
+    baseline_path: str | pathlib.Path,
+    update: bool = False,
+) -> BaselineReport:
+    """Full gate: load (or rewrite) the baseline and judge *findings*."""
+    if update:
+        write_baseline(findings, baseline_path)
+    return evaluate(findings, load_baseline(baseline_path))

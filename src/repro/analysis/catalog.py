@@ -1,0 +1,551 @@
+"""Static telemetry-key catalog: every metric key the tree can emit.
+
+The metrics registry is stringly keyed: ``registry.counter("noc.x")``
+in one module and ``registry.gauge("noc.x")`` in another collide only
+at runtime (or worse, never meet in one process and silently fork the
+schema). This module extracts, purely statically, every key pattern
+passed to a metric factory (``counter`` / ``gauge`` / ``histogram`` /
+``series``) or bound to a metric constructor (``Series(...)`` in a
+series-table literal), across the emitting packages.
+
+F-string keys resolve through local constants: a parameter default
+(``prefix="noc.router"``) or a single local assignment
+(``prefix = f"stream.series.tenant.{name}"``) is inlined; anything
+still dynamic becomes a ``*`` wildcard, so
+``f"noc.link.flits.{src}->{dst}"`` catalogs as ``noc.link.flits.*->*``.
+Sites whose whole key is dynamic (the registry's own internals, the
+republish loops) are skipped -- their keys always originate from a
+literal site that *is* cataloged.
+
+Four project rules ride on the extraction: ``cat-key-collision`` (one
+pattern, two kinds), ``cat-key-typo`` (edit-distance-1 near-miss of an
+established key), ``cat-undocumented`` (pattern missing from the
+DESIGN.md schema tables), and ``cat-stale`` (the generated
+:mod:`repro.telemetry.catalog` no longer matches the tree; regenerate
+with ``repro lint --write-catalog``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    ProjectIndex,
+    ProjectRule,
+    in_scope,
+    register,
+)
+
+#: Packages whose modules are swept for metric-key sites.
+CATALOG_SCOPE: tuple[str, ...] = (
+    "repro.noc",
+    "repro.cache",
+    "repro.core",
+    "repro.stream",
+    "repro.faults",
+    "repro.telemetry",
+    "repro.sim",
+    "repro.experiments",
+)
+
+#: Modules excluded from extraction: the registry's own internals key
+#: metrics by caller-supplied name, and the generated catalog itself.
+_EXCLUDED_MODULES = frozenset({
+    "repro.telemetry.registry",
+    "repro.telemetry.catalog",
+})
+
+_FACTORY_KINDS = {
+    "counter": "counter",
+    "gauge": "gauge",
+    "histogram": "histogram",
+    "series": "series",
+}
+
+_CONSTRUCTOR_KINDS = {
+    "Counter": "counter",
+    "Gauge": "gauge",
+    "Histogram": "histogram",
+    "Series": "series",
+}
+
+#: Where the generated catalog module lives, as a dotted name.
+GENERATED_MODULE = "repro.telemetry.catalog"
+
+
+@dataclass(frozen=True, order=True)
+class KeySite:
+    """One static emit site of one key pattern."""
+
+    pattern: str
+    kind: str
+    path: str
+    line: int
+
+
+# -- pattern resolution -------------------------------------------------------
+
+
+def _local_constants(
+    scope: ast.FunctionDef | ast.AsyncFunctionDef | None,
+) -> dict[str, str]:
+    """Names resolvable to a key pattern inside *scope*.
+
+    A parameter's literal-string default counts; so does a name assigned
+    exactly once from a resolvable string expression. Reassigned names
+    are dropped -- a loop variable must stay dynamic.
+    """
+    if scope is None:
+        return {}
+    constants: dict[str, str] = {}
+    args = scope.args
+    positional = [*args.posonlyargs, *args.args]
+    for arg, default in zip(positional[len(positional) - len(args.defaults):],
+                            args.defaults):
+        if isinstance(default, ast.Constant) and isinstance(default.value, str):
+            constants[arg.arg] = default.value
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if (
+            default is not None
+            and isinstance(default, ast.Constant)
+            and isinstance(default.value, str)
+        ):
+            constants[arg.arg] = default.value
+
+    assignments: dict[str, list[ast.expr]] = {}
+    for node in _statements_shallow(scope.body):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    assignments.setdefault(target.id, []).append(node.value)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign, ast.For)):
+            target = node.target
+            if isinstance(target, ast.Name):
+                assignments.setdefault(target.id, []).append(None)  # dynamic
+    for name, values in assignments.items():
+        if name in constants:
+            del constants[name]  # reassigned parameter: dynamic
+            continue
+        if len(values) != 1 or values[0] is None:
+            continue
+        resolved = resolve_pattern(values[0], constants)
+        if resolved is not None:
+            constants[name] = resolved
+    return constants
+
+
+def resolve_pattern(
+    node: ast.expr, constants: dict[str, str]
+) -> str | None:
+    """Key pattern for a string expression, or None when fully dynamic.
+
+    Unresolvable fragments become ``*``; a pattern with no literal
+    characters at all returns None (nothing to catalog).
+    """
+    resolved = _resolve(node, constants)
+    if resolved is None:
+        return None
+    if not resolved.replace("*", ""):
+        return None
+    return resolved
+
+
+def _resolve(node: ast.expr, constants: dict[str, str]) -> str | None:
+    if isinstance(node, ast.Constant):
+        return node.value if isinstance(node.value, str) else None
+    if isinstance(node, ast.Name):
+        return constants.get(node.id, "*")
+    if isinstance(node, ast.JoinedStr):
+        parts: list[str] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant):
+                if not isinstance(value.value, str):
+                    return None
+                parts.append(value.value)
+            elif isinstance(value, ast.FormattedValue):
+                inner = _resolve(value.value, constants)
+                parts.append(inner if inner is not None else "*")
+            else:
+                return None
+        return "".join(parts)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left = _resolve(node.left, constants)
+        right = _resolve(node.right, constants)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(node, ast.FormattedValue):
+        return _resolve(node.value, constants)
+    return "*"
+
+
+# -- extraction ---------------------------------------------------------------
+
+
+def _scopes(
+    info: ModuleInfo,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef | None, list[ast.stmt]]]:
+    yield None, info.tree.body
+    for node in ast.walk(info.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+def _statements_shallow(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Every node in *body*, not descending into nested function defs.
+
+    Function bodies belong to their own scope (with their own local
+    constants), so the def itself is yielded but never entered.
+    """
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def extract_module_sites(info: ModuleInfo) -> list[KeySite]:
+    """Every metric-key emit site in one module."""
+    sites: list[KeySite] = []
+    for scope, body in _scopes(info):
+        constants = _local_constants(scope)
+        for node in _statements_shallow(body):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _FACTORY_KINDS
+                    and node.args
+                ):
+                    pattern = resolve_pattern(node.args[0], constants)
+                    if pattern is not None:
+                        sites.append(KeySite(
+                            pattern=pattern,
+                            kind=_FACTORY_KINDS[func.attr],
+                            path=info.path, line=node.lineno,
+                        ))
+            elif isinstance(node, ast.Dict):
+                for key, value in zip(node.keys, node.values):
+                    kind = _constructed_kind(value)
+                    if key is None or kind is None:
+                        continue
+                    pattern = resolve_pattern(key, constants)
+                    if pattern is not None:
+                        sites.append(KeySite(
+                            pattern=pattern, kind=kind,
+                            path=info.path, line=key.lineno,
+                        ))
+            elif isinstance(node, ast.Assign):
+                kind = _constructed_kind(node.value)
+                if kind is None:
+                    continue
+                for target in node.targets:
+                    if not isinstance(target, ast.Subscript):
+                        continue
+                    pattern = resolve_pattern(target.slice, constants)
+                    if pattern is not None:
+                        sites.append(KeySite(
+                            pattern=pattern, kind=kind,
+                            path=info.path, line=target.lineno,
+                        ))
+    return sorted(set(sites))
+
+
+def _constructed_kind(node: ast.expr) -> str | None:
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    name = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    return _CONSTRUCTOR_KINDS.get(name or "")
+
+
+def extract_sites(index: ProjectIndex) -> list[KeySite]:
+    """Every metric-key emit site across the cataloged packages."""
+    sites: list[KeySite] = []
+    for info in index.modules:
+        if info.module in _EXCLUDED_MODULES:
+            continue
+        if not in_scope(info.module, CATALOG_SCOPE):
+            continue
+        sites.extend(extract_module_sites(info))
+    return sorted(set(sites))
+
+
+def build_catalog(sites: list[KeySite]) -> dict[str, tuple[str, ...]]:
+    """Pattern -> sorted kinds, over *sites*."""
+    catalog: dict[str, set[str]] = {}
+    for site in sites:
+        catalog.setdefault(site.pattern, set()).add(site.kind)
+    return {
+        pattern: tuple(sorted(kinds))
+        for pattern, kinds in sorted(catalog.items())
+    }
+
+
+# -- generated module ---------------------------------------------------------
+
+_GENERATED_HEADER = '''"""Static telemetry-key catalog (GENERATED -- do not edit by hand).
+
+Every metric/series key pattern the tree can emit, extracted by
+``repro.analysis.catalog`` from the emitting packages. ``*`` is a
+wildcard for a dynamic fragment (node ids, tenant names, ports).
+Regenerate after adding or renaming a key::
+
+    repro lint --write-catalog
+
+The ``cat-stale`` lint rule fails when this file and the tree disagree;
+``repro report --check-schema`` diffs runtime snapshots against it.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: key pattern -> metric kinds registered under it.
+CATALOG: dict[str, tuple[str, ...]] = {
+'''
+
+_GENERATED_FOOTER = '''}
+
+
+def _pattern_regex(pattern: str) -> "re.Pattern[str]":
+    parts = [re.escape(part) for part in pattern.split("*")]
+    return re.compile("^" + "(.+?)".join(parts) + "$")
+
+
+_WILDCARDS: list[tuple["re.Pattern[str]", str]] | None = None
+
+
+def covers(key: str) -> tuple[str, ...] | None:
+    """Kinds of the catalog pattern covering *key*, or None."""
+    exact = CATALOG.get(key)
+    if exact is not None:
+        return exact
+    global _WILDCARDS
+    if _WILDCARDS is None:
+        _WILDCARDS = [
+            (_pattern_regex(pattern), pattern)
+            for pattern in CATALOG
+            if "*" in pattern
+        ]
+    for regex, pattern in _WILDCARDS:
+        if regex.match(key):
+            return CATALOG[pattern]
+    return None
+
+
+def unknown_keys(snapshot: dict[str, object]) -> list[str]:
+    """Snapshot keys not covered by any catalog pattern, sorted."""
+    return sorted(key for key in snapshot if covers(key) is None)
+'''
+
+
+def generate_catalog_source(index: ProjectIndex) -> str:
+    """Source text of the generated ``repro.telemetry.catalog`` module."""
+    catalog = build_catalog(extract_sites(index))
+    lines = [_GENERATED_HEADER]
+    for pattern, kinds in catalog.items():
+        rendered = "".join(f'"{kind}", ' for kind in kinds).rstrip()
+        lines.append(f'    "{pattern}": ({rendered}),\n')
+    lines.append(_GENERATED_FOOTER)
+    return "".join(lines)
+
+
+def _catalog_from_generated(info: ModuleInfo) -> dict[str, tuple[str, ...]] | None:
+    """Parse the CATALOG literal out of the generated module's AST."""
+    for node in info.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == "CATALOG" for t in targets
+        ):
+            continue
+        try:
+            literal = ast.literal_eval(value)
+        except (ValueError, TypeError, SyntaxError):
+            return None
+        if isinstance(literal, dict):
+            return {
+                str(key): tuple(str(kind) for kind in kinds)
+                for key, kinds in literal.items()
+            }
+    return None
+
+
+# -- rules --------------------------------------------------------------------
+
+
+def _edit_distance_le1(a: str, b: str) -> bool:
+    """True when *a* and *b* differ by one edit (and are not equal)."""
+    if a == b:
+        return False
+    if abs(len(a) - len(b)) > 1:
+        return False
+    if len(a) == len(b):
+        return sum(x != y for x, y in zip(a, b)) == 1
+    short, long = (a, b) if len(a) < len(b) else (b, a)
+    for i in range(len(long)):
+        if short == long[:i] + long[i + 1:]:
+            return True
+    return False
+
+
+def _first_site(sites: list[KeySite], pattern: str) -> KeySite:
+    return min(site for site in sites if site.pattern == pattern)
+
+
+def _project_sites(index: ProjectIndex) -> list[KeySite]:
+    cached = getattr(index, "_catalog_sites", None)
+    if cached is None:
+        cached = extract_sites(index)
+        index._catalog_sites = cached  # type: ignore[attr-defined]
+    return cached
+
+
+@register
+class KeyCollisionRule(ProjectRule):
+    id = "cat-key-collision"
+    family = "catalog"
+    summary = (
+        "one metric key pattern must not be registered under two "
+        "different metric kinds anywhere in the tree"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        sites = _project_sites(index)
+        catalog = build_catalog(sites)
+        for pattern, kinds in catalog.items():
+            if len(kinds) < 2:
+                continue
+            for site in sorted(s for s in sites if s.pattern == pattern):
+                yield Finding(
+                    path=site.path, line=site.line, col=1, rule=self.id,
+                    message=(
+                        f"metric key {pattern!r} is registered as "
+                        f"{site.kind} here but also as "
+                        f"{', '.join(k for k in kinds if k != site.kind)} "
+                        "elsewhere; one key must have one kind"
+                    ),
+                )
+
+
+@register
+class KeyTypoRule(ProjectRule):
+    id = "cat-key-typo"
+    family = "catalog"
+    summary = (
+        "a metric key emitted at a single site must not sit one edit "
+        "away from an established multi-site key (near-miss typo)"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        sites = _project_sites(index)
+        counts: dict[str, int] = {}
+        for site in sites:
+            counts[site.pattern] = counts.get(site.pattern, 0) + 1
+        patterns = sorted(counts)
+        for pattern in patterns:
+            if counts[pattern] != 1:
+                continue
+            for other in patterns:
+                if counts[other] < 2:
+                    continue
+                if _edit_distance_le1(pattern, other):
+                    site = _first_site(sites, pattern)
+                    yield Finding(
+                        path=site.path, line=site.line, col=1, rule=self.id,
+                        message=(
+                            f"metric key {pattern!r} (single emit site) is "
+                            f"one edit away from {other!r} "
+                            f"({counts[other]} sites); likely a typo"
+                        ),
+                    )
+                    break
+
+
+@register
+class UndocumentedKeyRule(ProjectRule):
+    id = "cat-undocumented"
+    family = "catalog"
+    summary = (
+        "every cataloged metric key pattern must appear in the DESIGN.md "
+        "schema tables (inactive outside a repo checkout)"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        text = index.design_text
+        if text is None or "<!-- telemetry-schema -->" not in text:
+            return
+        sites = _project_sites(index)
+        for pattern in sorted({site.pattern for site in sites}):
+            if f"`{pattern}`" in text:
+                continue
+            site = _first_site(sites, pattern)
+            yield Finding(
+                path=site.path, line=site.line, col=1, rule=self.id,
+                message=(
+                    f"metric key {pattern!r} is emitted here but missing "
+                    "from the DESIGN.md telemetry schema tables (§16)"
+                ),
+            )
+
+
+@register
+class StaleCatalogRule(ProjectRule):
+    id = "cat-stale"
+    family = "catalog"
+    summary = (
+        "the generated repro.telemetry.catalog module must match a fresh "
+        "extraction; regenerate with `repro lint --write-catalog`"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        generated = index.module(GENERATED_MODULE)
+        if generated is None:
+            return
+        recorded = _catalog_from_generated(generated)
+        fresh = build_catalog(_project_sites(index))
+        if recorded is None:
+            yield Finding(
+                path=generated.path, line=1, col=1, rule=self.id,
+                message="generated catalog has no parseable CATALOG dict; "
+                        "regenerate with `repro lint --write-catalog`",
+            )
+            return
+        if recorded == fresh:
+            return
+        missing = sorted(set(fresh) - set(recorded))
+        extra = sorted(set(recorded) - set(fresh))
+        drifted = sorted(
+            pattern for pattern in set(fresh) & set(recorded)
+            if fresh[pattern] != recorded[pattern]
+        )
+        details = []
+        if missing:
+            details.append(f"missing {', '.join(missing[:4])}")
+        if extra:
+            details.append(f"stale {', '.join(extra[:4])}")
+        if drifted:
+            details.append(f"kind-drift {', '.join(drifted[:4])}")
+        yield Finding(
+            path=generated.path, line=1, col=1, rule=self.id,
+            message=(
+                "generated catalog is out of date ("
+                + "; ".join(details)
+                + "); regenerate with `repro lint --write-catalog`"
+            ),
+        )

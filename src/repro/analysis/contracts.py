@@ -1,0 +1,377 @@
+"""Cross-core contract check: the two flit cores must agree statically.
+
+The saturation parity suite proves at runtime that the object core
+(:mod:`repro.noc.network` + :mod:`repro.noc.router`) and the array core
+(:mod:`repro.noc.arraycore`) are bit-equivalent. That equivalence rests
+on two structural agreements that a refactor can silently break long
+before the parity suite runs:
+
+* **Phase order** -- both ``step()`` methods must run
+  ``_deliver_arrivals`` -> ``_inject_phase`` -> ``_replication_phase``
+  -> ``_switch_phase``;
+* **Tie-breaks** -- switch arbitration must rank contenders by
+  ``str(port)``, and replication VC stealing must prefer
+  ``(utilization, inject-last, str(port))``, in both cores.
+
+This rule extracts each core's actual contract from the AST anchors
+(the ``step`` bodies, the router's ``_in_rank`` table and replication
+sort key, the array core's ``_in_sort_rank`` / ``_repl_rank``
+construction) and compares both against one canonical constant -- so a
+perturbation in *either* core fails lint, and a refactor that moves the
+anchors out of the extractor's reach is itself a finding rather than a
+silent pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    ProjectIndex,
+    ProjectRule,
+    register,
+)
+
+#: The four cycle phases, in contract order (profiler's PHASE_METHODS).
+PHASE_ORDER: tuple[str, ...] = (
+    "_deliver_arrivals",
+    "_inject_phase",
+    "_replication_phase",
+    "_switch_phase",
+)
+
+#: Canonical switch-arbitration contender rank.
+SWITCH_RANK = "str(port)"
+
+#: Canonical replication VC-steal preference key.
+REPLICATION_KEY: tuple[str, ...] = ("utilization", "inject-last", "str(port)")
+
+_PHASE_SET = frozenset(PHASE_ORDER)
+
+#: Anchor modules: (phases from, tie-breaks from) per core.
+OBJECT_PHASES_MODULE = "repro.noc.network"
+OBJECT_RANKS_MODULE = "repro.noc.router"
+ARRAY_MODULE = "repro.noc.arraycore"
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One extracted contract fragment with its source location."""
+
+    value: object
+    line: int
+
+
+def _in_order(nodes: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Source-order traversal (``ast.walk`` is breadth-first)."""
+    for node in nodes:
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                continue
+            yield from _in_order_expr(child)
+        body = getattr(node, "body", None)
+        if isinstance(body, list):
+            yield from _in_order(body)
+        for attr in ("orelse", "finalbody"):
+            block = getattr(node, attr, None)
+            if isinstance(block, list):
+                yield from _in_order(block)
+        for handler in getattr(node, "handlers", []) or []:
+            yield from _in_order(handler.body)
+
+
+def _in_order_expr(node: ast.AST) -> Iterator[ast.AST]:
+    yield node
+    for child in ast.iter_child_nodes(node):
+        yield from _in_order_expr(child)
+
+
+def _step_class(tree: ast.Module) -> ast.ClassDef | None:
+    """The class defining both ``step`` and ``_inject_phase``."""
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        names = {
+            item.name for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if "step" in names and "_inject_phase" in names:
+            return node
+    return None
+
+
+def extract_phase_order(tree: ast.Module) -> Anchor | None:
+    """The self-method phase calls inside ``step``, in source order."""
+    cls = _step_class(tree)
+    if cls is None:
+        return None
+    for item in cls.body:
+        if isinstance(item, ast.FunctionDef) and item.name == "step":
+            phases: list[str] = []
+            for node in _in_order(item.body):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                    and node.func.attr in _PHASE_SET
+                ):
+                    phases.append(node.func.attr)
+            return Anchor(value=tuple(phases), line=item.lineno)
+    return None
+
+
+def _canonical_rank_expr(node: ast.expr) -> str:
+    """Canonical token for one tie-break key element."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id == "str":
+            return "str(port)"
+        if node.func.id == "utilization":
+            return "utilization"
+    if isinstance(node, ast.Compare) and len(node.ops) == 1:
+        if isinstance(node.ops[0], ast.Eq):
+            return "inject-last"
+    return ast.unparse(node)
+
+
+def extract_router_switch_rank(tree: ast.Module) -> Anchor | None:
+    """Canonical form of the ``_in_rank`` table's value expression."""
+    for node in ast.walk(tree):
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr == "_in_rank"
+            and isinstance(value, ast.DictComp)
+        ):
+            return Anchor(
+                value=_canonical_rank_expr(value.value), line=value.lineno
+            )
+    return None
+
+
+def _sorted_key_tuple(call: ast.Call) -> ast.expr | None:
+    """The ``key=lambda ...: <expr>`` body of a ``sorted``/``.sort`` call."""
+    for keyword in call.keywords:
+        if keyword.arg == "key" and isinstance(keyword.value, ast.Lambda):
+            return keyword.value.body
+    return None
+
+
+def extract_router_replication_key(tree: ast.Module) -> Anchor | None:
+    """Canonical replication sort key from the object router."""
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "sorted"
+        ):
+            continue
+        body = _sorted_key_tuple(node)
+        if not isinstance(body, ast.Tuple):
+            continue
+        tokens = tuple(_canonical_rank_expr(elt) for elt in body.elts)
+        if tokens and tokens[0] == "utilization":
+            return Anchor(value=tokens, line=node.lineno)
+    return None
+
+
+def _array_rank_tables(tree: ast.Module) -> tuple[Anchor | None, Anchor | None]:
+    """(in_sort rank key, repl rank key) from the array core's tables.
+
+    The tables are built as ``sorted(range(len(names)), key=lambda i:
+    ...)`` over a ``names`` list of ``str(...)`` values: a single
+    ``names[i]`` key is the switch rank, a ``(i == inject, names[i])``
+    tuple is the replication rank.
+    """
+    str_lists: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and _builds_str_list(node.value):
+                str_lists.add(target.id)
+    switch: Anchor | None = None
+    replication: Anchor | None = None
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "sorted"
+        ):
+            continue
+        body = _sorted_key_tuple(node)
+        if body is None:
+            continue
+        if isinstance(body, ast.Subscript):
+            token = _rank_element_token(body, str_lists)
+            if token is not None and switch is None:
+                switch = Anchor(value=token, line=node.lineno)
+        elif isinstance(body, ast.Tuple) and replication is None:
+            tokens: list[str] = []
+            names_based = False
+            for elt in body.elts:
+                if isinstance(elt, ast.Subscript):
+                    token = _rank_element_token(elt, str_lists)
+                    if token is not None:
+                        names_based = True
+                    tokens.append(token if token is not None
+                                  else ast.unparse(elt))
+                else:
+                    tokens.append(_canonical_rank_expr(elt))
+            # Only a key over the str(...)-name list is a rank table;
+            # the replication *candidates* sort also uses a tuple key
+            # but indexes the finished rank table, not the name list.
+            if names_based:
+                replication = Anchor(value=tuple(tokens), line=node.lineno)
+    return switch, replication
+
+
+def _builds_str_list(node: ast.expr) -> bool:
+    """True for ``[str(...) for ...]`` possibly concatenated with a list."""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        return _builds_str_list(node.left) or _builds_str_list(node.right)
+    return (
+        isinstance(node, ast.ListComp)
+        and isinstance(node.elt, ast.Call)
+        and isinstance(node.elt.func, ast.Name)
+        and node.elt.func.id == "str"
+    )
+
+
+def _rank_element_token(node: ast.Subscript, str_lists: set[str]) -> str | None:
+    if isinstance(node.value, ast.Name) and node.value.id in str_lists:
+        return "str(port)"
+    return None
+
+
+def extract_array_contract(
+    tree: ast.Module,
+) -> tuple[Anchor | None, Anchor | None, Anchor | None]:
+    """(phase order, switch rank, replication key) for the array core."""
+    phases = extract_phase_order(tree)
+    rank_key, repl_rank_key = _array_rank_tables(tree)
+
+    # The switch contenders must actually sort by that rank table:
+    # ``contenders.sort(key=lambda c: rank[c[0]])``.
+    uses_rank_sort = False
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "sort"
+        ):
+            body = _sorted_key_tuple(node)
+            if isinstance(body, ast.Subscript):
+                uses_rank_sort = True
+    switch = rank_key if uses_rank_sort else None
+
+    # The replication candidates sort splices the repl-rank table in
+    # after utilization: ``key=lambda p: (utilization(p), repl_rank[p])``.
+    replication: Anchor | None = None
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "sorted"
+        ):
+            continue
+        body = _sorted_key_tuple(node)
+        if not isinstance(body, ast.Tuple) or len(body.elts) != 2:
+            continue
+        first = _canonical_rank_expr(body.elts[0])
+        second = body.elts[1]
+        if first == "utilization" and isinstance(second, ast.Subscript):
+            if repl_rank_key is not None and isinstance(repl_rank_key.value, tuple):
+                replication = Anchor(
+                    value=("utilization", *repl_rank_key.value),
+                    line=node.lineno,
+                )
+    return phases, switch, replication
+
+
+@register
+class CoreContractRule(ProjectRule):
+    id = "contract-core-divergence"
+    family = "contract"
+    summary = (
+        "object and array flit cores must both match the canonical "
+        "phase order and stringified-port tie-breaks the bit-equivalence "
+        "suite assumes; unextractable anchors are findings, not passes"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        yield from self._check_object_phases(index)
+        yield from self._check_object_ranks(index)
+        yield from self._check_array(index)
+
+    def _fail(self, info: ModuleInfo, line: int, message: str) -> Finding:
+        return Finding(path=info.path, line=line, col=1,
+                       rule=self.id, message=message)
+
+    def _compare(
+        self,
+        info: ModuleInfo,
+        anchor: Anchor | None,
+        expected: object,
+        what: str,
+    ) -> Iterator[Finding]:
+        if anchor is None:
+            yield self._fail(
+                info, 1,
+                f"could not extract {what} from {info.module}; the "
+                "cross-core contract check cannot vouch for this core -- "
+                "keep the anchor extractable or update the extractor",
+            )
+        elif anchor.value != expected:
+            yield self._fail(
+                info, anchor.line,
+                f"{what} diverges from the canonical contract: found "
+                f"{anchor.value!r}, expected {expected!r}",
+            )
+
+    def _check_object_phases(self, index: ProjectIndex) -> Iterator[Finding]:
+        info = index.module(OBJECT_PHASES_MODULE)
+        if info is None:
+            return
+        yield from self._compare(
+            info, extract_phase_order(info.tree), PHASE_ORDER,
+            "object-core step() phase order",
+        )
+
+    def _check_object_ranks(self, index: ProjectIndex) -> Iterator[Finding]:
+        info = index.module(OBJECT_RANKS_MODULE)
+        if info is None:
+            return
+        yield from self._compare(
+            info, extract_router_switch_rank(info.tree), SWITCH_RANK,
+            "object-core switch tie-break rank",
+        )
+        yield from self._compare(
+            info, extract_router_replication_key(info.tree), REPLICATION_KEY,
+            "object-core replication preference key",
+        )
+
+    def _check_array(self, index: ProjectIndex) -> Iterator[Finding]:
+        info = index.module(ARRAY_MODULE)
+        if info is None:
+            return
+        phases, switch, replication = extract_array_contract(info.tree)
+        yield from self._compare(
+            info, phases, PHASE_ORDER, "array-core step() phase order"
+        )
+        yield from self._compare(
+            info, switch, SWITCH_RANK, "array-core switch tie-break rank"
+        )
+        yield from self._compare(
+            info, replication, REPLICATION_KEY,
+            "array-core replication preference key",
+        )

@@ -147,13 +147,45 @@ def _import_table(tree: ast.Module, module: str | None) -> dict[str, str]:
     return table
 
 
+@dataclass
+class ProjectIndex:
+    """Every parsed module of one analysis run, plus shared context.
+
+    Per-module rules see one :class:`ModuleInfo` at a time; project rules
+    (taint flows across call edges, telemetry-key catalogs, cross-core
+    contracts) see the whole index. ``design_text`` carries the DESIGN.md
+    schema tables when the run is anchored in a repo checkout; it is None
+    for synthetic single-module runs (fixtures, fuzzer cases), which
+    disables the documentation-coverage rule there.
+    """
+
+    modules: tuple[ModuleInfo, ...]
+    design_text: str | None = None
+
+    def __post_init__(self) -> None:
+        self._by_module: dict[str, ModuleInfo] = {
+            info.module: info for info in self.modules if info.module is not None
+        }
+
+    def module(self, name: str) -> ModuleInfo | None:
+        """The parsed module registered under dotted *name*, if any."""
+        return self._by_module.get(name)
+
+    def in_scope(self, prefixes: Sequence[str]) -> Iterator[ModuleInfo]:
+        """Modules whose dotted name falls under any of *prefixes*."""
+        for info in self.modules:
+            if in_scope(info.module, prefixes):
+                yield info
+
+
 class Rule:
     """Base class: one named check over one module."""
 
     #: Stable kebab-case identifier used in output and suppressions.
     id: str = ""
     #: Rule family (``determinism`` | ``process-safety`` | ``telemetry`` |
-    #: ``exceptions``) -- the DESIGN.md §12 grouping.
+    #: ``exceptions`` | ``dataflow`` | ``catalog`` | ``contract``) -- the
+    #: DESIGN.md §12/§16 grouping.
     family: str = ""
     #: One-line description shown by ``repro lint --list-rules``.
     summary: str = ""
@@ -169,6 +201,26 @@ class Rule:
             rule=self.id,
             message=message,
         )
+
+
+class ProjectRule(Rule):
+    """A rule that inspects the whole :class:`ProjectIndex` at once.
+
+    Project rules run after every module has been parsed; their findings
+    still anchor to concrete file/line locations so the suppression
+    machinery applies unchanged.
+    """
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(
+        self, info: ModuleInfo, node: ast.AST, message: str
+    ) -> Finding:
+        return self.finding(info, node, message)
 
 
 _RULES: dict[str, Rule] = {}
@@ -306,6 +358,8 @@ def analyze_source(
 ) -> list[Finding]:
     """Run *rules* (default: all) over one module's source text.
 
+    Project rules see a one-module index, so single-module callers
+    (fixtures, the fuzzer) exercise the dataflow families too.
     Suppressed findings are dropped; malformed suppressions are reported
     as ``bad-suppression`` findings. A syntax error yields a single
     ``parse-error`` finding rather than raising.
@@ -319,10 +373,16 @@ def analyze_source(
                     rule="parse-error", message=f"syntax error: {exc.msg}")
         ]
     info = ModuleInfo(path=path, module=module, tree=tree, source=source)
+    index = ProjectIndex(modules=(info,))
     suppressions = parse_suppressions(path, source)
     findings: list[Finding] = list(suppressions.problems)
     for rule in selected:
-        for finding in rule.check(info):
+        emitted = (
+            rule.check_project(index)
+            if isinstance(rule, ProjectRule)
+            else rule.check(info)
+        )
+        for finding in emitted:
             if not suppressions.allows(finding):
                 findings.append(finding)
     return sorted(findings)
@@ -340,25 +400,82 @@ def iter_python_files(paths: Iterable[str | pathlib.Path]) -> Iterator[pathlib.P
             raise AnalysisError(f"not a python file or directory: {path}")
 
 
+def find_design_text(paths: Iterable[str | pathlib.Path]) -> str | None:
+    """DESIGN.md contents found by walking up from the analyzed paths."""
+    for raw in paths:
+        probe = pathlib.Path(raw).resolve()
+        for ancestor in [probe, *probe.parents]:
+            candidate = ancestor / "DESIGN.md"
+            if candidate.is_file():
+                return candidate.read_text(encoding="utf-8")
+    return None
+
+
+def build_index(
+    paths: Iterable[str | pathlib.Path],
+    progress: Callable[[str], None] | None = None,
+) -> tuple[ProjectIndex, list[Finding], dict[str, Suppressions]]:
+    """Parse every python file under *paths* exactly once.
+
+    Returns the project index, parse-error findings for unparseable
+    files, and the per-path suppression tables used to filter both the
+    per-module and the project-rule passes.
+    """
+    path_list = list(paths)
+    modules: list[ModuleInfo] = []
+    parse_errors: list[Finding] = []
+    suppressions: dict[str, Suppressions] = {}
+    for file_path in iter_python_files(path_list):
+        if progress is not None:
+            progress(str(file_path))
+        source = file_path.read_text(encoding="utf-8")
+        path = str(file_path)
+        suppressions[path] = parse_suppressions(path, source)
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            parse_errors.append(
+                Finding(path=path, line=exc.lineno or 1,
+                        col=(exc.offset or 0) + 1, rule="parse-error",
+                        message=f"syntax error: {exc.msg}")
+            )
+            continue
+        modules.append(
+            ModuleInfo(path=path, module=module_name_for(file_path),
+                       tree=tree, source=source)
+        )
+    index = ProjectIndex(
+        modules=tuple(modules), design_text=find_design_text(path_list)
+    )
+    return index, parse_errors, suppressions
+
+
 def analyze_paths(
     paths: Iterable[str | pathlib.Path],
     rules: Sequence[Rule] | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> list[Finding]:
-    """Analyze every python file under *paths*; findings sorted by location."""
-    findings: list[Finding] = []
-    for file_path in iter_python_files(paths):
-        if progress is not None:
-            progress(str(file_path))
-        source = file_path.read_text(encoding="utf-8")
-        findings.extend(
-            analyze_source(
-                str(file_path),
-                source,
-                module=module_name_for(file_path),
-                rules=rules,
-            )
-        )
+    """Analyze every python file under *paths*; findings sorted by location.
+
+    All modules are parsed into one :class:`ProjectIndex` first, so
+    per-module rules and whole-program rules share a single parse pass
+    and one suppression table per file.
+    """
+    selected = tuple(rules) if rules is not None else all_rules()
+    index, findings, suppressions = build_index(paths, progress=progress)
+    for table in suppressions.values():
+        findings.extend(table.problems)
+
+    def keep(finding: Finding) -> bool:
+        table = suppressions.get(finding.path)
+        return table is None or not table.allows(finding)
+
+    for rule in selected:
+        if isinstance(rule, ProjectRule):
+            findings.extend(f for f in rule.check_project(index) if keep(f))
+        else:
+            for info in index.modules:
+                findings.extend(f for f in rule.check(info) if keep(f))
     return sorted(findings)
 
 

@@ -1,0 +1,786 @@
+"""Forward taint propagation: determinism sources must not reach sinks.
+
+The ``det-*`` rules in :mod:`repro.analysis.determinism` flag *direct*
+nondeterminism -- a literal ``time.time()`` call, a ``for`` over a set.
+They are blind to a value that flows two assignments away::
+
+    stamp = time.perf_counter()
+    jitter = stamp * 2.0
+    registry.counter("noc.x").inc(int(jitter))   # invisible to det-*
+
+This module adds a whole-program forward dataflow pass. **Sources** are
+wall-clock and monotonic reads, unseeded / globally-shared RNG draws,
+builtin ``id()`` values, and set-iteration order. **Sinks** are
+simulation-state stores inside :data:`~repro.analysis.core.SIM_SCOPE`,
+telemetry payloads (metric samples, metric key strings, trace-sink
+events), and experiment-identity inputs (``CellSpec`` / ``StreamSpec`` /
+``TenantSpec`` fields and cache-fingerprint arguments). Taint moves
+through assignments, tuple unpacking, arithmetic, f-strings, loop
+targets, attribute stores on ``self``, returns, and -- via per-function
+summaries iterated to a fixpoint over the project call graph -- through
+call arguments and return values across modules.
+
+Deliberate propagation limits (the false-positive budget): comparisons
+and boolean tests launder taint (a branch on a tainted value is not a
+tainted *result*), ``sorted``/``min``/``max``/``sum`` launder
+set-iteration order (that is exactly how the cores canonicalize), and
+``len``/``bool``/``isinstance`` launder everything.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.core import (
+    SIM_SCOPE,
+    Finding,
+    ModuleInfo,
+    ProjectIndex,
+    ProjectRule,
+    in_scope,
+    register,
+)
+from repro.analysis.determinism import (
+    _GLOBAL_RANDOM,
+    _MONOTONIC,
+    _SEEDED_CONSTRUCTORS,
+    _WALLCLOCK,
+)
+
+#: Extra entropy constructors beyond the determinism-rule sets.
+_ENTROPY_CALLS = frozenset({
+    "random.SystemRandom",
+    "os.urandom",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "uuid.uuid1",
+    "uuid.uuid4",
+})
+
+#: Builtins that launder every taint kind (scalar facts about a value).
+_CLEANSE_ALL = frozenset({"len", "bool", "isinstance", "issubclass", "type"})
+
+#: Builtins that launder only iteration-order taint: they canonicalize
+#: or reduce an unordered collection order-independently.
+_CLEANSE_ORDER = frozenset({"sorted", "min", "max", "sum", "any", "all"})
+
+#: Builtins that preserve the order of an unordered input: the result
+#: of ``list(some_set)`` is address-ordered even though it is a list.
+_ORDER_PRESERVING = frozenset({"list", "tuple", "iter", "enumerate", "reversed"})
+
+#: Metric factory methods on a registry-like receiver.
+_METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram", "series"})
+
+#: Sample methods on a metric object.
+_SAMPLE_METHODS = frozenset({"inc", "set", "update_max", "record", "observe"})
+
+#: Event methods on a trace sink.
+_TRACE_METHODS = frozenset({"instant", "begin", "end", "complete"})
+
+#: Constructors whose fields define experiment identity.
+_SPEC_NAMES = frozenset({"CellSpec", "StreamSpec", "TenantSpec"})
+
+#: Human description per taint kind, used in messages.
+_KIND_DESC = {
+    "wallclock": "wall-clock",
+    "monotonic": "monotonic-clock",
+    "rng": "unseeded/shared-RNG",
+    "id": "id()-address",
+    "set-order": "set-iteration-order",
+}
+
+_MAX_ROUNDS = 4
+
+
+# -- tags ---------------------------------------------------------------------
+#
+# A taint value is a frozenset of tags:
+#   ("k", kind, origin, line)  concrete taint from a named source
+#   ("p", index)               symbolic: flows from the enclosing
+#                              function's parameter *index*
+#   ("fn", kind, origin, line) an un-called reference to a source
+#                              function (``perf = time.perf_counter``)
+
+Tags = frozenset
+
+_EMPTY: Tags = frozenset()
+
+
+def _concrete(tags: Tags) -> list[tuple[str, str, str, int]]:
+    return sorted(tag for tag in tags if tag[0] == "k")
+
+
+def _params(tags: Tags) -> list[int]:
+    return sorted(tag[1] for tag in tags if tag[0] == "p")
+
+
+def _strip_order(tags: Tags) -> Tags:
+    return frozenset(
+        tag for tag in tags if not (tag[0] == "k" and tag[1] == "set-order")
+    )
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """One sink reached from a function parameter (summary entry)."""
+
+    rule: str
+    param: int
+    sink: str
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """What a function does with taint, independent of any call site."""
+
+    param_names: tuple[str, ...] = ()
+    returns: Tags = _EMPTY
+    returns_params: frozenset[int] = frozenset()
+    sinks: frozenset[SinkHit] = frozenset()
+
+
+@dataclass
+class _FunctionEntry:
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None
+
+
+def _module_functions(info: ModuleInfo) -> dict[str, _FunctionEntry]:
+    table: dict[str, _FunctionEntry] = {}
+    for node in info.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            table[node.name] = _FunctionEntry(node, None)
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    table[f"{node.name}.{item.name}"] = _FunctionEntry(
+                        item, node.name
+                    )
+    return table
+
+
+def _param_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
+    args = node.args
+    return tuple(
+        arg.arg
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    )
+
+
+# -- the per-function evaluator ----------------------------------------------
+
+
+class _FunctionPass:
+    """One forward pass over one function (or the module body)."""
+
+    def __init__(
+        self,
+        engine: "_Engine",
+        info: ModuleInfo,
+        key: str,
+        entry: _FunctionEntry | None,
+        emit: bool,
+    ) -> None:
+        self.engine = engine
+        self.info = info
+        self.key = key
+        self.entry = entry
+        self.emit = emit
+        self.env: dict[str, Tags] = {}
+        self.set_vars: set[str] = set()
+        self.assigned: set[str] = set()
+        self.returns: set = set()
+        self.returns_params: set[int] = set()
+        self.sinks: set[SinkHit] = set()
+        self.param_index: dict[str, int] = {}
+        self.class_name = entry.class_name if entry else None
+        self.at_module_level = entry is None
+        if entry is not None:
+            names = _param_names(entry.node)
+            for index, name in enumerate(names):
+                self.param_index[name] = index
+                self.env[name] = frozenset({("p", index)})
+                self.assigned.add(name)
+
+    # -- driving --------------------------------------------------------------
+
+    def run(self) -> FunctionSummary:
+        body = (
+            self.entry.node.body if self.entry is not None
+            else self.info.tree.body
+        )
+        self.block(body)
+        names = _param_names(self.entry.node) if self.entry else ()
+        return FunctionSummary(
+            param_names=names,
+            returns=frozenset(self.returns),
+            returns_params=frozenset(self.returns_params),
+            sinks=frozenset(self.sinks),
+        )
+
+    def block(self, statements: list[ast.stmt]) -> None:
+        for statement in statements:
+            self.statement(statement)
+
+    def statement(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # analyzed as their own functions
+        if isinstance(node, ast.Assign):
+            tags = self.eval(node.value)
+            is_set = self.is_set_expr(node.value)
+            for target in node.targets:
+                self.bind(target, tags, node.value, is_set=is_set)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                tags = self.eval(node.value)
+                self.bind(node.target, tags, node.value,
+                          is_set=self.is_set_expr(node.value))
+        elif isinstance(node, ast.AugAssign):
+            tags = self.eval(node.value) | self.eval_load_target(node.target)
+            self.bind(node.target, tags, node.value, is_set=False)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                tags = self.eval(node.value)
+                self.returns.update(
+                    tag for tag in tags if tag[0] in ("k", "fn")
+                )
+                self.returns_params.update(_params(tags))
+        elif isinstance(node, ast.For):
+            tags = self.eval(node.iter)
+            if self.is_set_expr(node.iter):
+                tags = tags | frozenset(
+                    {("k", "set-order", "set iteration", node.iter.lineno)}
+                )
+            self.bind(node.target, tags, node.iter, is_set=False)
+            self.block(node.body)
+            self.block(node.orelse)
+        elif isinstance(node, ast.While):
+            self.eval(node.test)
+            self.block(node.body)
+            self.block(node.orelse)
+        elif isinstance(node, ast.If):
+            self.eval(node.test)
+            self.block(node.body)
+            self.block(node.orelse)
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                tags = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self.bind(item.optional_vars, tags, item.context_expr,
+                              is_set=False)
+            self.block(node.body)
+        elif isinstance(node, ast.Try):
+            self.block(node.body)
+            for handler in node.handlers:
+                self.block(handler.body)
+            self.block(node.orelse)
+            self.block(node.finalbody)
+        elif isinstance(node, ast.Expr):
+            self.eval(node.value)
+        else:
+            # Generic fallback (Raise, Assert, Match, ...): evaluate every
+            # embedded expression so sink checks inside calls still run.
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+
+    # -- binding --------------------------------------------------------------
+
+    def bind(
+        self, target: ast.expr, tags: Tags, value: ast.expr, *, is_set: bool
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self.assigned.add(target.id)
+            self.env[target.id] = tags
+            if is_set:
+                self.set_vars.add(target.id)
+            elif target.id in self.set_vars:
+                self.set_vars.discard(target.id)
+            if self.at_module_level:
+                self.state_sink(target, tags, f"module global `{target.id}`")
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self.bind(element, tags, value, is_set=False)
+        elif isinstance(target, ast.Starred):
+            self.bind(target.value, tags, value, is_set=False)
+        elif isinstance(target, ast.Attribute):
+            self.eval(target.value)
+            self.record_attr_store(target, tags)
+            self.state_sink(target, tags, f"attribute store `.{target.attr}`")
+        elif isinstance(target, ast.Subscript):
+            self.eval(target.value)
+            self.eval(target.slice)
+            self.state_sink(target, tags, "container store `[...]`")
+
+    def record_attr_store(self, target: ast.Attribute, tags: Tags) -> None:
+        if (
+            self.class_name is not None
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            concrete = frozenset(tag for tag in tags if tag[0] == "k")
+            if concrete:
+                self.engine.next_attr_taints.setdefault(
+                    (self.info.path, self.class_name), {}
+                ).setdefault(target.attr, set()).update(concrete)
+
+    def eval_load_target(self, target: ast.expr) -> Tags:
+        if isinstance(target, ast.Name):
+            return self.env.get(target.id, _EMPTY)
+        return self.eval(target) if isinstance(target, ast.expr) else _EMPTY
+
+    # -- sinks ----------------------------------------------------------------
+
+    def state_sink(self, node: ast.AST, tags: Tags, sink: str) -> None:
+        if not in_scope(self.info.module, SIM_SCOPE):
+            return
+        self.report("df-taint-state", node, tags,
+                    f"simulation-state {sink}")
+
+    def report(self, rule: str, node: ast.AST, tags: Tags, sink: str) -> None:
+        for _, kind, origin, line in _concrete(tags):
+            if self.emit:
+                self.engine.emit(
+                    rule, self.info, node,
+                    f"{_KIND_DESC[kind]} value from {origin} "
+                    f"(line {line}) reaches {sink}",
+                )
+        for index in _params(tags):
+            self.sinks.add(SinkHit(rule=rule, param=index, sink=sink))
+
+    # -- expressions ----------------------------------------------------------
+
+    def is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return (
+                node.func.id in ("set", "frozenset")
+                and node.func.id not in self.assigned
+                and node.func.id not in self.info.imports
+            )
+        if isinstance(node, ast.Name):
+            return node.id in self.set_vars
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+        ):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        return False
+
+    def source_qualname(self, func: ast.expr) -> str | None:
+        """Resolve *func* through imports unless its root is shadowed."""
+        root = func
+        while isinstance(root, ast.Attribute):
+            root = root.value
+        if isinstance(root, ast.Name) and root.id in self.assigned:
+            return None
+        return self.info.qualname(func)
+
+    def eval(self, node: ast.expr | None) -> Tags:
+        if node is None:
+            return _EMPTY
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, _EMPTY)
+        if isinstance(node, ast.Constant):
+            return _EMPTY
+        if isinstance(node, ast.Attribute):
+            base = self.eval(node.value)
+            qualname = self.source_qualname(node)
+            if qualname in _WALLCLOCK:
+                return base | frozenset(
+                    {("fn", "wallclock", qualname, node.lineno)}
+                )
+            if qualname in _MONOTONIC:
+                return base | frozenset(
+                    {("fn", "monotonic", qualname, node.lineno)}
+                )
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and self.class_name is not None
+            ):
+                attr_map = self.engine.attr_taints.get(
+                    (self.info.path, self.class_name), {}
+                )
+                base = base | frozenset(attr_map.get(node.attr, set()))
+            return base
+        if isinstance(node, ast.Call):
+            return self.eval_call(node)
+        if isinstance(node, (ast.Compare, ast.BoolOp)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+            return _EMPTY  # branch decisions launder taint
+        if isinstance(node, ast.Lambda):
+            return _EMPTY
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            tags = set()
+            for generator in node.generators:
+                iter_tags = self.eval(generator.iter)
+                if self.is_set_expr(generator.iter):
+                    iter_tags = iter_tags | frozenset(
+                        {("k", "set-order", "set iteration",
+                          generator.iter.lineno)}
+                    )
+                self.bind(generator.target, iter_tags, generator.iter,
+                          is_set=False)
+                tags.update(iter_tags)
+            if isinstance(node, ast.DictComp):
+                tags.update(self.eval(node.key))
+                tags.update(self.eval(node.value))
+            else:
+                tags.update(self.eval(node.elt))
+            return frozenset(tags)
+        # Default: union over child expressions (BinOp, UnaryOp, IfExp,
+        # JoinedStr, FormattedValue, Tuple, List, Dict, Subscript, ...).
+        tags = set()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                tags.update(self.eval(child))
+        return frozenset(tags)
+
+    # -- calls ----------------------------------------------------------------
+
+    def eval_call(self, node: ast.Call) -> Tags:
+        func_tags = self.eval(node.func)
+        arg_tags: list[Tags] = [self.eval(arg) for arg in node.args]
+        kw_tags: dict[str, Tags] = {}
+        star_tags: Tags = _EMPTY
+        for keyword in node.keywords:
+            tags = self.eval(keyword.value)
+            if keyword.arg is None:
+                star_tags = star_tags | tags
+            else:
+                kw_tags[keyword.arg] = tags
+        all_args = frozenset().union(star_tags, *arg_tags, *kw_tags.values())
+
+        self.check_sinks(node, arg_tags, kw_tags, star_tags)
+
+        qualname = self.source_qualname(node.func)
+        line = node.lineno
+        if qualname in _WALLCLOCK:
+            return frozenset({("k", "wallclock", qualname, line)}) | all_args
+        if qualname in _MONOTONIC:
+            return frozenset({("k", "monotonic", qualname, line)}) | all_args
+        if qualname in _GLOBAL_RANDOM or qualname in _ENTROPY_CALLS:
+            return frozenset({("k", "rng", qualname, line)}) | all_args
+        if qualname in _SEEDED_CONSTRUCTORS and not node.args and not node.keywords:
+            return frozenset({("k", "rng", f"{qualname}() without a seed", line)})
+
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name == "id" and name not in self.assigned and "id" not in self.info.imports:
+                return frozenset({("k", "id", "builtin id()", line)}) | all_args
+            if name in _CLEANSE_ALL and name not in self.assigned:
+                return _EMPTY
+            if name in _CLEANSE_ORDER and name not in self.assigned:
+                return _strip_order(all_args)
+            if name in _ORDER_PRESERVING and name not in self.assigned:
+                tags = all_args
+                if any(self.is_set_expr(arg) for arg in node.args):
+                    tags = tags | frozenset(
+                        {("k", "set-order", "set iteration", line)}
+                    )
+                return tags
+
+        # Calling a stored reference to a source function.
+        produced = frozenset(
+            ("k", tag[1], tag[2], line)
+            for tag in func_tags if tag[0] == "fn"
+        )
+
+        resolved = self.apply_summary(node, arg_tags, kw_tags)
+        if resolved is not None:
+            return resolved | produced
+        # Unresolved callee: propagate receiver + argument taint through.
+        carried = frozenset(
+            tag for tag in (func_tags | all_args) if tag[0] != "fn"
+        )
+        return carried | produced
+
+    def apply_summary(
+        self,
+        node: ast.Call,
+        arg_tags: list[Tags],
+        kw_tags: dict[str, Tags],
+    ) -> Tags | None:
+        resolution = self.engine.resolve_callee(self.info, node, self.assigned,
+                                               self.class_name)
+        if resolution is None:
+            return None
+        summary, offset, callee_label = resolution
+        mapped: dict[int, Tags] = {}
+        for position, tags in enumerate(arg_tags):
+            mapped[position + offset] = tags
+        for name, tags in kw_tags.items():
+            if name in summary.param_names:
+                mapped[summary.param_names.index(name)] = tags
+        result = set(summary.returns)
+        for index in summary.returns_params:
+            result.update(mapped.get(index, _EMPTY))
+        for hit in sorted(summary.sinks,
+                          key=lambda h: (h.rule, h.param, h.sink)):
+            tags = mapped.get(hit.param, _EMPTY)
+            self.report(
+                hit.rule, node, tags,
+                f"{hit.sink} inside {callee_label}()",
+            )
+        return frozenset(result)
+
+    # -- telemetry / spec sinks ----------------------------------------------
+
+    def check_sinks(
+        self,
+        node: ast.Call,
+        arg_tags: list[Tags],
+        kw_tags: dict[str, Tags],
+        star_tags: Tags,
+    ) -> None:
+        every = frozenset().union(star_tags, *arg_tags, *kw_tags.values())
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            method = func.attr
+            if method in _METRIC_FACTORIES and node.args:
+                self.report(
+                    "df-taint-telemetry", node, self.eval_cached(node.args[0]),
+                    f"metric key of `.{method}(...)`",
+                )
+            if method in _SAMPLE_METHODS and self.is_metric_receiver(func.value):
+                self.report(
+                    "df-taint-telemetry", node, every,
+                    f"metric sample `.{method}(...)`",
+                )
+            if method in _TRACE_METHODS and self.is_trace_receiver(func.value):
+                self.report(
+                    "df-taint-telemetry", node, every,
+                    f"trace event `.{method}(...)`",
+                )
+        terminal = self.callee_terminal(func)
+        if terminal in _SPEC_NAMES:
+            self.report(
+                "df-taint-spec", node, every,
+                f"`{terminal}` experiment-identity field",
+            )
+        elif terminal is not None and "fingerprint" in terminal:
+            self.report(
+                "df-taint-spec", node, every,
+                f"cache-fingerprint input `{terminal}(...)`",
+            )
+
+    def eval_cached(self, node: ast.expr) -> Tags:
+        # Arguments were just evaluated by the caller; a re-eval is cheap
+        # and side-effect-free for everything except nested sink calls,
+        # which would double-report -- so only re-eval non-Call args.
+        if isinstance(node, ast.Call):
+            return _EMPTY
+        return self.eval(node)
+
+    def is_metric_receiver(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            return node.func.attr in _METRIC_FACTORIES
+        if isinstance(node, ast.Name):
+            return node.id in self.engine.metric_vars.get(
+                (self.info.path, self.key), set()
+            )
+        if isinstance(node, ast.Subscript):
+            terminal = self.callee_terminal(node.value)
+            return terminal is not None and "series" in terminal.lower()
+        return False
+
+    def is_trace_receiver(self, node: ast.expr) -> bool:
+        terminal = self.callee_terminal(node)
+        return terminal is not None and "sink" in terminal.lower()
+
+    @staticmethod
+    def callee_terminal(node: ast.expr) -> str | None:
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+class _Engine:
+    """Project-wide fixpoint driver producing dataflow findings."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.functions: dict[str, dict[str, _FunctionEntry]] = {}
+        self.summaries: dict[tuple[str, str], FunctionSummary] = {}
+        self.attr_taints: dict[tuple[str, str], dict[str, set]] = {}
+        self.next_attr_taints: dict[tuple[str, str], dict[str, set]] = {}
+        self.metric_vars: dict[tuple[str, str], set[str]] = {}
+        self.findings: list[Finding] = []
+        self._seen: set[tuple[str, int, str, str]] = set()
+        for info in index.modules:
+            self.functions[info.path] = _module_functions(info)
+
+    def emit(self, rule: str, info: ModuleInfo, node: ast.AST,
+             message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        key = (info.path, line, rule, message)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.findings.append(Finding(
+            path=info.path, line=line,
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule, message=message,
+        ))
+
+    def resolve_callee(
+        self,
+        info: ModuleInfo,
+        node: ast.Call,
+        assigned: set[str],
+        class_name: str | None,
+    ) -> tuple[FunctionSummary, int, str] | None:
+        """(summary, arg->param offset, label) for a resolvable callee."""
+        func = node.func
+        local = self.functions.get(info.path, {})
+        if isinstance(func, ast.Name):
+            if func.id in local and func.id not in assigned:
+                summary = self.summaries.get((info.path, func.id))
+                if summary is not None:
+                    return summary, 0, func.id
+            origin = None if func.id in assigned else info.imports.get(func.id)
+            if origin is not None and "." in origin:
+                module_name, _, function_name = origin.rpartition(".")
+                target = self.index.module(module_name)
+                if target is not None:
+                    summary = self.summaries.get((target.path, function_name))
+                    if summary is not None:
+                        return summary, 0, origin
+        elif isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and class_name is not None
+            ):
+                key = f"{class_name}.{func.attr}"
+                summary = self.summaries.get((info.path, key))
+                if summary is not None:
+                    return summary, 1, key
+            origin = info.qualname(func)
+            if origin is not None and "." in origin:
+                module_name, _, function_name = origin.rpartition(".")
+                target = self.index.module(module_name)
+                if target is not None:
+                    summary = self.summaries.get((target.path, function_name))
+                    if summary is not None:
+                        return summary, 0, origin
+        return None
+
+    def _collect_metric_vars(self) -> None:
+        """Names assigned from metric factory calls / series subscripts."""
+        for info in self.index.modules:
+            table = self.functions[info.path]
+            entries: list[tuple[str, list[ast.stmt]]] = [
+                ("<module>", info.tree.body)
+            ]
+            entries.extend(
+                (key, entry.node.body) for key, entry in table.items()
+            )
+            for key, body in entries:
+                names: set[str] = set()
+                for statement in body:
+                    for node in ast.walk(statement):
+                        if not isinstance(node, ast.Assign):
+                            continue
+                        value = node.value
+                        is_metric = (
+                            isinstance(value, ast.Call)
+                            and isinstance(value.func, ast.Attribute)
+                            and value.func.attr in _METRIC_FACTORIES
+                        ) or (
+                            isinstance(value, ast.Subscript)
+                            and isinstance(value.value, (ast.Name, ast.Attribute))
+                            and "series" in (
+                                _FunctionPass.callee_terminal(value.value) or ""
+                            ).lower()
+                        )
+                        if not is_metric:
+                            continue
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                names.add(target.id)
+                if names:
+                    self.metric_vars[(info.path, key)] = names
+
+    def _one_round(self, emit: bool) -> bool:
+        changed = False
+        self.next_attr_taints = {}
+        for info in self.index.modules:
+            table = self.functions[info.path]
+            module_pass = _FunctionPass(self, info, "<module>", None, emit)
+            module_pass.run()
+            for key in sorted(table):
+                entry = table[key]
+                run = _FunctionPass(self, info, key, entry, emit)
+                summary = run.run()
+                if self.summaries.get((info.path, key)) != summary:
+                    self.summaries[(info.path, key)] = summary
+                    changed = True
+        if self.next_attr_taints != self.attr_taints:
+            self.attr_taints = self.next_attr_taints
+            changed = True
+        return changed
+
+    def run(self) -> list[Finding]:
+        self._collect_metric_vars()
+        for _ in range(_MAX_ROUNDS):
+            if not self._one_round(emit=False):
+                break
+        self._one_round(emit=True)
+        return sorted(self.findings)
+
+
+def dataflow_findings(index: ProjectIndex) -> list[Finding]:
+    """All dataflow findings for *index*, computed once and cached."""
+    cached = getattr(index, "_dataflow_findings", None)
+    if cached is None:
+        cached = _Engine(index).run()
+        index._dataflow_findings = cached  # type: ignore[attr-defined]
+    return cached
+
+
+class _DataflowRule(ProjectRule):
+    family = "dataflow"
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        for finding in dataflow_findings(index):
+            if finding.rule == self.id:
+                yield finding
+
+
+@register
+class TaintStateRule(_DataflowRule):
+    id = "df-taint-state"
+    summary = (
+        "no wall-clock / RNG / id() / set-order value may flow into "
+        "simulation state (attribute, container, or global stores in "
+        "sim/noc/core/cache/faults), even through assignments and calls"
+    )
+
+
+@register
+class TaintTelemetryRule(_DataflowRule):
+    id = "df-taint-telemetry"
+    summary = (
+        "no nondeterministic value may flow into a telemetry payload: "
+        "metric samples, metric key strings, or trace-sink events"
+    )
+
+
+@register
+class TaintSpecRule(_DataflowRule):
+    id = "df-taint-spec"
+    summary = (
+        "no nondeterministic value may flow into experiment identity: "
+        "CellSpec/StreamSpec/TenantSpec fields or cache-fingerprint inputs"
+    )

@@ -1,0 +1,108 @@
+"""SARIF 2.1.0 rendering of lint findings.
+
+`Static Analysis Results Interchange Format
+<https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_ is
+what GitHub code scanning ingests: uploading ``repro lint --format
+sarif`` as a CI artifact turns findings into inline PR annotations.
+The document is fully deterministic -- rules sorted by id, results in
+(path, line, rule) order, no timestamps -- so two runs over the same
+tree produce byte-identical SARIF and artifact diffs stay reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.core import Finding, all_rules
+
+#: Tool metadata embedded in every run object.
+_TOOL_NAME = "repro-lint"
+_INFO_URI = "https://example.invalid/repro/DESIGN.md#12-static-analysis"
+
+#: Findings from the analyzer machinery itself rather than a registered
+#: rule; they need synthetic rule metadata in the SARIF rule table.
+_SYNTHETIC_RULES = {
+    "parse-error": "the file does not parse as python",
+    "bad-suppression": (
+        "a `# repro: allow[...]` directive is malformed, names an "
+        "unknown rule, or lacks a justification"
+    ),
+}
+
+
+def _rule_entries(findings: Sequence[Finding]) -> list[dict[str, object]]:
+    entries: dict[str, dict[str, object]] = {}
+    for rule in all_rules():
+        entries[rule.id] = {
+            "id": rule.id,
+            "shortDescription": {"text": rule.summary},
+            "properties": {"family": rule.family},
+        }
+    for rule_id, summary in _SYNTHETIC_RULES.items():
+        entries[rule_id] = {
+            "id": rule_id,
+            "shortDescription": {"text": summary},
+            "properties": {"family": "analyzer"},
+        }
+    used = {finding.rule for finding in findings}
+    for rule_id in sorted(used - set(entries)):
+        entries[rule_id] = {
+            "id": rule_id,
+            "shortDescription": {"text": rule_id},
+            "properties": {"family": "unknown"},
+        }
+    return [entries[rule_id] for rule_id in sorted(entries)]
+
+
+def _result(finding: Finding, rule_index: dict[str, int]) -> dict[str, object]:
+    return {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index[finding.rule],
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """A SARIF 2.1.0 document for *findings*, deterministically ordered."""
+    ordered = sorted(findings)
+    rules = _rule_entries(ordered)
+    rule_index = {
+        str(entry["id"]): position for position, entry in enumerate(rules)
+    }
+    document = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _INFO_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    _result(finding, rule_index) for finding in ordered
+                ],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -30,6 +30,8 @@ TYPED_CORE: tuple[str, ...] = (
     "repro.errors",
     "repro.noc.arraycore",
     "repro.sim",
+    "repro.stream.arrivals",
+    "repro.stream.engine",
     "repro.telemetry",
     "repro.experiments.runner",
 )

@@ -125,13 +125,56 @@ def cmd_table(args: argparse.Namespace) -> str:
     raise SystemExit(f"no table {args.number}; choose 1-4")
 
 
+def _check_schema(snapshot: dict) -> str:
+    """Diff a runtime metrics snapshot against the static key catalog.
+
+    Every runtime key must be covered by a cataloged pattern with a
+    matching kind; an uncovered key means the catalog (and therefore
+    the DESIGN.md schema tables) is missing an emit site -- regenerate
+    with ``repro lint --write-catalog`` and re-document.
+    """
+    from repro.telemetry import catalog
+
+    unknown: list[str] = []
+    drifted: list[str] = []
+    for key in sorted(snapshot):
+        kinds = catalog.covers(key)
+        if kinds is None:
+            unknown.append(key)
+            continue
+        payload = snapshot[key]
+        kind = payload.get("type") if isinstance(payload, dict) else None
+        if kind is not None and kind not in kinds:
+            drifted.append(f"{key} is {kind}, catalog says {'/'.join(kinds)}")
+    lines = []
+    for key in unknown:
+        lines.append(f"schema: {key} not covered by any catalog pattern")
+    for problem in drifted:
+        lines.append(f"schema: kind mismatch: {problem}")
+    if lines:
+        lines.append(
+            f"schema check FAILED ({len(unknown)} unknown key(s), "
+            f"{len(drifted)} kind mismatch(es)); regenerate with "
+            "`repro lint --write-catalog`"
+        )
+        raise SystemExit("\n".join(lines))
+    return (
+        f"schema check ok: {len(snapshot)} runtime keys covered by the "
+        "static catalog"
+    )
+
+
 def cmd_report(args: argparse.Namespace) -> str:
+    if args.check_schema and not args.metrics:
+        raise SystemExit("--check-schema needs a metrics file or directory")
     if args.metrics:
         import json
 
         from repro.telemetry import report as metrics_report
 
         snapshot = metrics_report.load_metrics(args.metrics)
+        if args.check_schema:
+            return _check_schema(snapshot)
         report = metrics_report.explore(snapshot)
         lines = []
         if args.png:
@@ -394,15 +437,41 @@ def cmd_serve(args: argparse.Namespace) -> str:
 
 
 def cmd_lint(args: argparse.Namespace) -> str:
+    import json
+
     from repro.analysis import analyze_paths, render_findings
-    from repro.analysis.__main__ import list_rules
+    from repro.analysis.__main__ import list_rules, write_catalog
+    from repro.analysis.baseline import BASELINE_NAME, check_baseline
+    from repro.analysis.sarif import render_sarif
     from repro.analysis.typegate import check_typegate
 
     if args.list_rules:
         return list_rules()
+    if args.write_catalog:
+        return f"wrote {write_catalog(args.paths)}"
     findings = analyze_paths(args.paths)
-    failed = bool(findings)
-    lines = [render_findings(findings)]
+    baseline_path = args.baseline
+    if args.update_lint_baseline and baseline_path is None:
+        baseline_path = BASELINE_NAME
+    lines: list[str] = []
+    if baseline_path is not None:
+        baseline_report = check_baseline(
+            findings, baseline_path, update=args.update_lint_baseline
+        )
+        visible = baseline_report.offenders
+        failed = not baseline_report.ok or bool(baseline_report.stale)
+        if args.format == "text":
+            lines.append(baseline_report.render())
+    else:
+        visible = findings
+        failed = bool(findings)
+        if args.format == "text":
+            lines.append(render_findings(findings))
+    if args.format == "json":
+        lines.append(json.dumps([f.payload() for f in visible],
+                                indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        lines.append(render_sarif(visible).rstrip("\n"))
     if args.types or args.update_baseline:
         report = check_typegate(update_baseline=args.update_baseline)
         lines.append(report.render())
@@ -557,6 +626,11 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--format", choices=("text", "json"), default="text",
                         help="explorer output: human tables/ASCII heatmap "
                              "or the structured JSON report")
+    report.add_argument("--check-schema", action="store_true",
+                        help="diff the snapshot's keys against the static "
+                             "telemetry catalog (repro.telemetry.catalog) "
+                             "instead of rendering; nonzero exit on "
+                             "unknown keys or kind mismatches")
     report.add_argument("--png", default=None, metavar="PATH",
                         help="also draw the heatmap + series with "
                              "matplotlib when it is installed (skipped "
@@ -697,6 +771,20 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: src/repro)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print every registered rule and exit")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text",
+                      help="finding output format (default: text); sarif "
+                           "is what GitHub code scanning ingests")
+    lint.add_argument("--baseline", metavar="FILE", default=None,
+                      help="judge findings against a shrink-only "
+                           "lint-baseline.txt ratchet instead of failing "
+                           "on any finding")
+    lint.add_argument("--update-lint-baseline", action="store_true",
+                      help="rewrite the lint baseline from this run's "
+                           "findings")
+    lint.add_argument("--write-catalog", action="store_true",
+                      help="regenerate src/repro/telemetry/catalog.py "
+                           "(the static telemetry-key catalog) and exit")
     lint.add_argument("--types", action="store_true",
                       help="also run the mypy --strict typed-core gate "
                            "(skipped with a notice when mypy is absent)")

@@ -134,7 +134,7 @@ def _tenant_rng(seed: int, tenant: str, stream: str) -> random.Random:
 def _zipf_cumulative(catalog: int, alpha: float) -> list[float]:
     """Cumulative Zipf weights over ranks ``1..catalog``."""
     total = 0.0
-    out = []
+    out: list[float] = []
     for rank in range(1, catalog + 1):
         total += rank ** -alpha
         out.append(total)
@@ -147,7 +147,7 @@ def _burst_windows(
     """Exponentially-distributed ON windows covering ``[0, cycles)``."""
     mean_on = tenant.burst_period * tenant.burst_on_fraction
     mean_off = tenant.burst_period * (1.0 - tenant.burst_on_fraction)
-    windows = []
+    windows: list[tuple[float, float]] = []
     t = rng.expovariate(1.0 / mean_off)
     while t < cycles:
         on = rng.expovariate(1.0 / mean_on)

@@ -102,10 +102,14 @@ class StreamResult:
     goodput_per_kcycle: float
     availability: float
     rejection_rate: float
-    summary: dict = field(repr=False)
+    summary: dict[str, Any] = field(repr=False)
     #: Telemetry snapshot merged into the global registry by run_cells.
-    metrics: dict | None = field(default=None, repr=False, compare=False)
-    provenance: dict | None = field(default=None, repr=False, compare=False)
+    metrics: dict[str, Any] | None = field(
+        default=None, repr=False, compare=False
+    )
+    provenance: dict[str, Any] | None = field(
+        default=None, repr=False, compare=False
+    )
     #: Wall seconds; excluded from equality so cached replays compare
     #: equal to fresh runs.
     wall_s: float | None = field(default=None, repr=False, compare=False)

@@ -497,6 +497,36 @@ _ANALYSIS_TEMPLATES = (
     ("exc-taxonomy", "repro.cache.{n}",
      "def {n}_check(x):\n    if x < 0:\n"
      "        raise RuntimeError('negative: %d' % x)\n    return x\n"),
+    # Dataflow family: taint must survive an intermediate assignment ...
+    ("df-taint-telemetry", "repro.noc.{n}",
+     "import time\n\n\ndef {n}_publish(registry):\n"
+     "    stamp = time.time()\n"
+     "    registry.gauge('{n}.stamp').set(stamp)\n"),
+    # ... a hop through a local helper into sim-state ...
+    ("df-taint-state", "repro.sim.{n}",
+     "import time\n\n\ndef {n}_now():\n    return time.monotonic()\n\n\n"
+     "class {c}Clock:\n    def tick(self):\n        self.at = {n}_now()\n"),
+    # ... and an id() flowing into a cache-key spec field.
+    ("df-taint-spec", "repro.experiments.{n}",
+     "from repro.experiments.runner import CellSpec\n\n\n"
+     "def {n}_spec(design):\n"
+     "    return CellSpec(design=design, scheme='lru',\n"
+     "                    benchmark='art', seed=id(design))\n"),
+    # One key pattern registered under two metric kinds.
+    ("cat-key-collision", "repro.noc.{n}",
+     "def {n}_publish(registry):\n"
+     "    registry.counter('{n}.flow').inc({v})\n"
+     "    registry.gauge('{n}.flow').set({v})\n"),
+    # A reordered step() phase sequence in the array-core anchor module.
+    ("contract-core-divergence", "repro.noc.arraycore",
+     "class {c}Core:\n"
+     "    def step(self):\n"
+     "        self._deliver_arrivals(0)\n"
+     "        self._inject_phase(0)\n"
+     "        self._switch_phase(0)\n"
+     "        self._replication_phase(0)\n\n"
+     "    def _inject_phase(self, cycle):\n"
+     "        pass\n"),
 )
 
 

@@ -599,6 +599,200 @@ FIXTURES = [
         "  # repro: allow[exc-taxonomy] -- fixture justification\n"
         "    return depth\n",
     ),
+    # -- dataflow taint -------------------------------------------------------
+    Fixture(
+        # Wall clock two assignments away from a telemetry payload: the
+        # det-* rules see only the time.time() call, the taint pass
+        # follows the value into the counter sample.
+        "df-taint-telemetry", "dataflow", "positive", "repro.experiments.demo",
+        "import time\n\n\ndef push(registry):\n"
+        "    stamp = time.time()\n"
+        "    jitter = stamp * 2.0\n"
+        "    registry.counter('exp.jitter').inc(int(jitter))\n",
+    ),
+    Fixture(
+        # Set-iteration order laundered through list() into a gauge.
+        "df-taint-telemetry", "dataflow", "positive", "repro.noc.demo",
+        "def publish(registry, ports):\n"
+        "    pending = {p for p in ports}\n"
+        "    order = list(pending)\n"
+        "    registry.gauge('noc.first_port').set(order[0])\n",
+    ),
+    Fixture(
+        # id() flowing into a metric *key* makes the schema per-process.
+        "df-taint-telemetry", "dataflow", "positive", "repro.cache.demo",
+        "def publish(registry, bank):\n"
+        "    key = f'cache.bank.{id(bank)}.hits'\n"
+        "    registry.counter(key).inc(1)\n",
+    ),
+    Fixture(
+        # sorted() canonicalizes set order before the sample: clean.
+        "df-taint-telemetry", "dataflow", "negative", "repro.noc.demo",
+        "def publish(registry, ports):\n"
+        "    pending = {p for p in ports}\n"
+        "    order = sorted(pending)\n"
+        "    registry.gauge('noc.first_port').set(order[0])\n",
+    ),
+    Fixture(
+        # Simulator-cycle values are the legitimate telemetry clock.
+        "df-taint-telemetry", "dataflow", "negative", "repro.noc.demo",
+        "def publish(registry, network):\n"
+        "    cycles = network.cycle\n"
+        "    registry.counter('noc.network.cycles').inc(cycles)\n",
+    ),
+    Fixture(
+        "df-taint-telemetry", "dataflow", "suppressed", "repro.noc.demo",
+        "def publish(registry, ports):\n"
+        "    order = list({p for p in ports})\n"
+        "    registry.gauge('noc.first_port').set(order[0])"
+        "  # repro: allow[df-taint-telemetry] -- fixture justification\n",
+    ),
+    Fixture(
+        # Monotonic clock stored into sim state through a local helper:
+        # the summary pass carries the taint across the call edge.
+        "df-taint-state", "dataflow", "positive", "repro.sim.demo",
+        "import time\n\n\ndef _now():\n"
+        "    return time.perf_counter()\n\n\n"
+        "class Kernel:\n"
+        "    def tick(self):\n"
+        "        value = _now()\n"
+        "        self.last_tick = value\n",
+    ),
+    Fixture(
+        # Unseeded Random() object feeding a state store.
+        "df-taint-state", "dataflow", "positive", "repro.noc.demo",
+        "import random\n\n\nclass Router:\n"
+        "    def shuffle(self):\n"
+        "        rng = random.Random()\n"
+        "        self.pick = rng.random()\n",
+    ),
+    Fixture(
+        # The wall_s accounting idiom lives outside the simulation core
+        # and stores into a compare=False result field: clean.
+        "df-taint-state", "dataflow", "negative", "repro.experiments.demo",
+        "import time\n\n\ndef run(result):\n"
+        "    started = time.perf_counter()\n"
+        "    result.wall_s = time.perf_counter() - started\n",
+    ),
+    Fixture(
+        # A seeded RNG is a pure function of the spec: clean.
+        "df-taint-state", "dataflow", "negative", "repro.noc.demo",
+        "import random\n\n\nclass Router:\n"
+        "    def shuffle(self, seed):\n"
+        "        rng = random.Random(seed)\n"
+        "        self.pick = rng.random()\n",
+    ),
+    Fixture(
+        "df-taint-state", "dataflow", "suppressed", "repro.sim.demo",
+        "import time\n\n\nclass Kernel:\n"
+        "    def tick(self):\n"
+        "        self.last_tick = time.monotonic()"
+        "  # repro: allow[df-taint-state] -- fixture justification\n",
+    ),
+    Fixture(
+        # id() seeding a CellSpec field forks the result cache per run.
+        "df-taint-spec", "dataflow", "positive", "repro.experiments.demo",
+        "from repro.experiments.runner import CellSpec\n\n\n"
+        "def make(design):\n"
+        "    return CellSpec(design=design, seed=id(design))\n",
+    ),
+    Fixture(
+        # Wall clock flowing into a cache-fingerprint input.
+        "df-taint-spec", "dataflow", "positive", "repro.experiments.demo",
+        "import time\n\nfrom repro.experiments.cache import "
+        "code_fingerprint\n\n\ndef stamp():\n"
+        "    salt = str(time.time())\n"
+        "    return code_fingerprint(salt)\n",
+    ),
+    Fixture(
+        "df-taint-spec", "dataflow", "negative", "repro.experiments.demo",
+        "from repro.experiments.runner import CellSpec\n\n\n"
+        "def make(design, seed):\n"
+        "    return CellSpec(design=design, seed=seed)\n",
+    ),
+    Fixture(
+        "df-taint-spec", "dataflow", "suppressed", "repro.experiments.demo",
+        "from repro.experiments.runner import CellSpec\n\n\n"
+        "def make(design):\n"
+        "    return CellSpec(design=design, seed=id(design))"
+        "  # repro: allow[df-taint-spec] -- fixture justification\n",
+    ),
+    # -- telemetry-key catalog ------------------------------------------------
+    Fixture(
+        # One key, two kinds: the registry would raise at runtime only
+        # if both sites ever met in one process.
+        "cat-key-collision", "catalog", "positive", "repro.noc.demo",
+        "def publish(registry):\n"
+        "    registry.counter('noc.demo.flits').inc(1)\n"
+        "    registry.gauge('noc.demo.flits').set(2)\n",
+    ),
+    Fixture(
+        "cat-key-collision", "catalog", "negative", "repro.noc.demo",
+        "def publish(registry):\n"
+        "    registry.counter('noc.demo.flits').inc(1)\n"
+        "    registry.gauge('noc.demo.depth').set(2)\n",
+    ),
+    Fixture(
+        "cat-key-collision", "catalog", "suppressed", "repro.noc.demo",
+        "def publish(registry):\n"
+        "    registry.counter('noc.demo.flits').inc(1)"
+        "  # repro: allow[cat-key-collision] -- fixture justification\n"
+        "    registry.gauge('noc.demo.flits').set(2)"
+        "  # repro: allow[cat-key-collision] -- fixture justification\n",
+    ),
+    Fixture(
+        # A one-site near-miss of an established multi-site key.
+        "cat-key-typo", "catalog", "positive", "repro.noc.demo",
+        "def publish(registry):\n"
+        "    registry.counter('noc.demo.flits_forwarded').inc(1)\n"
+        "    registry.counter('noc.demo.flits_forwarded').inc(2)\n"
+        "    registry.counter('noc.demo.flits_forwarder').inc(3)\n",
+    ),
+    Fixture(
+        # Distinct keys more than one edit apart: clean.
+        "cat-key-typo", "catalog", "negative", "repro.noc.demo",
+        "def publish(registry):\n"
+        "    registry.counter('noc.demo.flits_forwarded').inc(1)\n"
+        "    registry.counter('noc.demo.flits_forwarded').inc(2)\n"
+        "    registry.counter('noc.demo.flits_ejected').inc(3)\n",
+    ),
+    Fixture(
+        "cat-key-typo", "catalog", "suppressed", "repro.noc.demo",
+        "def publish(registry):\n"
+        "    registry.counter('noc.demo.flits_forwarded').inc(1)\n"
+        "    registry.counter('noc.demo.flits_forwarded').inc(2)\n"
+        "    registry.counter('noc.demo.flits_forwarder').inc(3)"
+        "  # repro: allow[cat-key-typo] -- fixture justification\n",
+    ),
+    # -- cross-core contract --------------------------------------------------
+    Fixture(
+        # Replication before injection: the array core has drifted from
+        # the canonical phase order the parity suite assumes.
+        "contract-core-divergence", "contract", "positive",
+        "repro.noc.arraycore",
+        "class ArrayNetwork:\n"
+        "    def step(self):\n"
+        "        cycle = self.cycle\n"
+        "        self._deliver_arrivals(cycle)\n"
+        "        self._replication_phase(cycle)\n"
+        "        self._inject_phase(cycle)\n"
+        "        self._switch_phase(cycle)\n\n"
+        "    def _inject_phase(self, cycle):\n"
+        "        pass\n",
+    ),
+    Fixture(
+        # Same module shape under a non-anchor name: the contract check
+        # only binds to the real core modules.
+        "contract-core-divergence", "contract", "negative",
+        "repro.noc.demo",
+        "class DemoNetwork:\n"
+        "    def step(self):\n"
+        "        cycle = self.cycle\n"
+        "        self._replication_phase(cycle)\n"
+        "        self._inject_phase(cycle)\n\n"
+        "    def _inject_phase(self, cycle):\n"
+        "        pass\n",
+    ),
 ]
 
 

@@ -1,0 +1,124 @@
+"""Tests for the shrink-only lint-finding baseline ratchet."""
+
+import pytest
+
+from repro.analysis import AnalysisError, Finding
+from repro.analysis.baseline import (
+    check_baseline,
+    evaluate,
+    load_baseline,
+    parse_entry,
+    write_baseline,
+)
+
+
+def _finding(path="src/repro/noc/demo.py", line=3, rule="det-wallclock"):
+    return Finding(path=path, line=line, col=1, rule=rule, message="m")
+
+
+class TestParsing:
+    def test_entry_round_trip(self):
+        assert parse_entry("src/repro/a.py:det-wallclock:2") == (
+            "src/repro/a.py", "det-wallclock", 2
+        )
+
+    def test_windows_unfriendly_paths_still_split_right(self):
+        # rpartition: only the LAST two colons delimit rule and count.
+        assert parse_entry("pkg:mod.py:rule:1") == ("pkg:mod.py", "rule", 1)
+
+    @pytest.mark.parametrize("line", [
+        "no-colons", "a.py:rule", "a.py:rule:zero", "a.py:rule:0",
+        ":rule:1", "a.py::1",
+    ])
+    def test_malformed_entries_raise(self, line):
+        with pytest.raises(AnalysisError, match="malformed"):
+            parse_entry(line)
+
+    def test_missing_file_is_an_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.txt") == {}
+
+    def test_comments_and_blanks_are_ignored(self, tmp_path):
+        path = tmp_path / "b.txt"
+        path.write_text("# header\n\na.py:rule:2\n", encoding="utf-8")
+        assert load_baseline(path) == {("a.py", "rule"): 2}
+
+    def test_unsorted_entries_raise(self, tmp_path):
+        path = tmp_path / "b.txt"
+        path.write_text("b.py:rule:1\na.py:rule:1\n", encoding="utf-8")
+        with pytest.raises(AnalysisError, match="sorted"):
+            load_baseline(path)
+
+    def test_duplicate_entries_raise(self, tmp_path):
+        path = tmp_path / "b.txt"
+        path.write_text("a.py:rule:1\na.py:rule:1\n", encoding="utf-8")
+        with pytest.raises(AnalysisError, match="unique"):
+            load_baseline(path)
+
+
+class TestEvaluate:
+    def test_clean_run_against_empty_baseline(self):
+        report = evaluate([], {})
+        assert report.ok
+        assert report.render().startswith("repro lint: ok")
+
+    def test_unbaselined_finding_is_an_offender(self):
+        report = evaluate([_finding()], {})
+        assert not report.ok
+        assert len(report.offenders) == 1
+        assert "FAILED" in report.render()
+
+    def test_allowance_absorbs_first_findings_in_location_order(self):
+        findings = [_finding(line=30), _finding(line=10), _finding(line=20)]
+        allowed = {("src/repro/noc/demo.py", "det-wallclock"): 2}
+        report = evaluate(findings, allowed)
+        assert report.absorbed == 2
+        assert [f.line for f in report.offenders] == [30]
+
+    def test_allowance_is_per_path_and_rule(self):
+        findings = [_finding(), _finding(rule="exc-bare")]
+        allowed = {("src/repro/noc/demo.py", "det-wallclock"): 1}
+        report = evaluate(findings, allowed)
+        assert [f.rule for f in report.offenders] == ["exc-bare"]
+
+    def test_shrunk_count_flags_the_entry_stale(self):
+        allowed = {("src/repro/noc/demo.py", "det-wallclock"): 3}
+        report = evaluate([_finding()], allowed)
+        assert report.ok  # stale alone does not make offenders...
+        assert report.stale == ["src/repro/noc/demo.py:det-wallclock:3"]
+        assert "shrink" in report.render()
+
+    def test_fixed_file_flags_the_whole_entry(self):
+        report = evaluate([], {("gone.py", "rule"): 2})
+        assert report.stale == ["gone.py:rule:2"]
+
+
+class TestGate:
+    def test_update_writes_sorted_entries_and_passes(self, tmp_path):
+        path = tmp_path / "lint-baseline.txt"
+        findings = [
+            _finding(path="z.py"), _finding(path="a.py"),
+            _finding(path="a.py", line=9),
+        ]
+        report = check_baseline(findings, path, update=True)
+        assert report.ok and report.absorbed == 3
+        body = path.read_text(encoding="utf-8")
+        assert "a.py:det-wallclock:2\n" in body
+        assert body.index("a.py:") < body.index("z.py:")
+        # The written file must load cleanly (sorted, unique).
+        assert load_baseline(path) == {
+            ("a.py", "det-wallclock"): 2, ("z.py", "det-wallclock"): 1,
+        }
+
+    def test_ratchet_fails_on_growth(self, tmp_path):
+        path = tmp_path / "lint-baseline.txt"
+        write_baseline([_finding()], path)
+        grown = [_finding(), _finding(line=99)]
+        report = check_baseline(grown, path)
+        assert not report.ok
+        assert [f.line for f in report.offenders] == [99]
+
+    def test_shipped_baseline_is_empty(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        assert load_baseline(root / "lint-baseline.txt") == {}

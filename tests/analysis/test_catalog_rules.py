@@ -1,0 +1,251 @@
+"""Tests for the telemetry-key catalog: extraction, rules, generation.
+
+Extraction must resolve the tree's real key shapes (literal keys,
+parameter-default prefixes, local f-string prefixes, series-table dict
+literals, series-dict subscript stores) and skip fully-dynamic keys.
+The rules ride on extraction; the generated-module round trip pins the
+``cat-stale`` ratchet.
+"""
+
+import ast
+
+import pytest
+
+from repro.analysis import ModuleInfo, ProjectIndex, analyze_source
+from repro.analysis.catalog import (
+    KeySite,
+    build_catalog,
+    extract_module_sites,
+    generate_catalog_source,
+    resolve_pattern,
+)
+from tests.analysis.fixtures import fixtures_for, labelled
+from tests.analysis.helpers import assert_fixture_verdict
+
+_FIXTURES, _IDS = labelled(fixtures_for("catalog"))
+
+
+@pytest.mark.parametrize("fixture", _FIXTURES, ids=_IDS)
+def test_catalog_fixture(fixture):
+    assert_fixture_verdict(fixture)
+
+
+def _info(source: str, module: str = "repro.noc.demo") -> ModuleInfo:
+    return ModuleInfo(
+        path=f"src/{module.replace('.', '/')}.py",
+        module=module,
+        tree=ast.parse(source),
+        source=source,
+    )
+
+
+def _patterns(source: str, module: str = "repro.noc.demo") -> dict:
+    return build_catalog(extract_module_sites(_info(source, module)))
+
+
+class TestExtraction:
+    def test_literal_factory_keys(self):
+        catalog = _patterns(
+            "def publish(registry):\n"
+            "    registry.counter('noc.flits').inc(1)\n"
+            "    registry.gauge('noc.depth').set(2)\n"
+            "    registry.histogram('noc.latency', edges=(1, 2)).record(1)\n"
+            "    registry.series('noc.series.flits', 64).record(0, 1)\n"
+        )
+        assert catalog == {
+            "noc.flits": ("counter",),
+            "noc.depth": ("gauge",),
+            "noc.latency": ("histogram",),
+            "noc.series.flits": ("series",),
+        }
+
+    def test_parameter_default_prefix_is_inlined(self):
+        catalog = _patterns(
+            "def publish_metrics(registry, prefix='noc.router'):\n"
+            "    registry.counter(f'{prefix}.flits_forwarded').inc(1)\n"
+        )
+        assert catalog == {"noc.router.flits_forwarded": ("counter",)}
+
+    def test_local_fstring_prefix_resolves_transitively(self):
+        catalog = _patterns(
+            "def tenant_series(self, name, window):\n"
+            "    prefix = f'stream.series.tenant.{name}'\n"
+            "    self._series[f'{prefix}.offered'] = Series(window)\n",
+            module="repro.stream.demo",
+        )
+        assert catalog == {"stream.series.tenant.*.offered": ("series",)}
+
+    def test_dict_literal_series_table(self):
+        catalog = _patterns(
+            "def make_series(window):\n"
+            "    return {\n"
+            "        'noc.series.flits_injected': Series(window),\n"
+            "        'noc.series.latency': Series(window, agg='hist'),\n"
+            "    }\n"
+        )
+        assert catalog == {
+            "noc.series.flits_injected": ("series",),
+            "noc.series.latency": ("series",),
+        }
+
+    def test_dynamic_fragments_become_wildcards(self):
+        catalog = _patterns(
+            "def publish(registry, src, dst):\n"
+            "    registry.counter(f'noc.link.flits.{src}->{dst}').inc(1)\n"
+        )
+        assert catalog == {"noc.link.flits.*->*": ("counter",)}
+
+    def test_fully_dynamic_keys_are_skipped(self):
+        catalog = _patterns(
+            "def republish(registry, series):\n"
+            "    for name, metric in series.items():\n"
+            "        registry.series(name, 64)\n"
+        )
+        assert catalog == {}
+
+    def test_reassigned_prefix_stays_dynamic(self):
+        catalog = _patterns(
+            "def publish(registry, names):\n"
+            "    prefix = 'noc.a'\n"
+            "    prefix = 'noc.b'\n"
+            "    registry.counter(f'{prefix}.hits').inc(1)\n"
+        )
+        assert catalog == {"*.hits": ("counter",)}
+
+    def test_out_of_scope_modules_are_ignored(self):
+        from repro.analysis.catalog import extract_sites
+
+        info = _info(
+            "def publish(registry):\n"
+            "    registry.counter('cli.key').inc(1)\n",
+            module="repro.cli",
+        )
+        assert extract_sites(ProjectIndex(modules=(info,))) == []
+
+    def test_resolve_pattern_concat(self):
+        node = ast.parse("'noc.' + suffix", mode="eval").body
+        assert resolve_pattern(node, {"suffix": "hits"}) == "noc.hits"
+        assert resolve_pattern(node, {}) == "noc.*"
+
+
+class TestRules:
+    def test_undocumented_rule_reads_design_tables(self):
+        info = _info(
+            "def publish(registry):\n"
+            "    registry.counter('noc.documented').inc(1)\n"
+            "    registry.counter('noc.undocumented').inc(1)\n"
+        )
+        design = (
+            "## Telemetry schema\n<!-- telemetry-schema -->\n"
+            "| `noc.documented` | counter |\n"
+        )
+        index = ProjectIndex(modules=(info,), design_text=design)
+        from repro.analysis.catalog import UndocumentedKeyRule
+
+        findings = list(UndocumentedKeyRule().check_project(index))
+        assert len(findings) == 1
+        assert "noc.undocumented" in findings[0].message
+
+    def test_undocumented_rule_inactive_without_marker(self):
+        info = _info(
+            "def publish(registry):\n"
+            "    registry.counter('noc.anything').inc(1)\n"
+        )
+        index = ProjectIndex(modules=(info,), design_text="no tables here")
+        from repro.analysis.catalog import UndocumentedKeyRule
+
+        assert list(UndocumentedKeyRule().check_project(index)) == []
+
+    def test_typo_needs_an_established_key(self):
+        # Two singleton keys one edit apart: ambiguous, stays quiet.
+        rules = {
+            f.rule for f in analyze_source(
+                "<t>",
+                "def publish(registry):\n"
+                "    registry.counter('noc.demo.hits').inc(1)\n"
+                "    registry.counter('noc.demo.bits').inc(1)\n",
+                module="repro.noc.demo",
+            )
+        }
+        assert "cat-key-typo" not in rules
+
+
+class TestGeneratedModule:
+    def _index_with_catalog(self, emit_source: str, catalog_source: str):
+        emitter = _info(emit_source)
+        generated = ModuleInfo(
+            path="src/repro/telemetry/catalog.py",
+            module="repro.telemetry.catalog",
+            tree=ast.parse(catalog_source),
+            source=catalog_source,
+        )
+        return ProjectIndex(modules=(emitter, generated))
+
+    def test_fresh_catalog_is_not_stale(self):
+        emit = (
+            "def publish(registry):\n"
+            "    registry.counter('noc.flits').inc(1)\n"
+        )
+        index = ProjectIndex(modules=(_info(emit),))
+        generated = generate_catalog_source(index)
+        from repro.analysis.catalog import StaleCatalogRule
+
+        round_trip = self._index_with_catalog(emit, generated)
+        assert list(StaleCatalogRule().check_project(round_trip)) == []
+
+    def test_drifted_catalog_is_stale(self):
+        emit = (
+            "def publish(registry):\n"
+            "    registry.counter('noc.flits').inc(1)\n"
+        )
+        stale = 'CATALOG = {"noc.bygone": ("counter",)}\n'
+        index = self._index_with_catalog(emit, stale)
+        from repro.analysis.catalog import StaleCatalogRule
+
+        findings = list(StaleCatalogRule().check_project(index))
+        assert len(findings) == 1
+        assert "noc.flits" in findings[0].message
+        assert "noc.bygone" in findings[0].message
+
+    def test_generated_source_is_deterministic_and_evaluable(self):
+        emit = (
+            "def publish(registry):\n"
+            "    registry.gauge('noc.depth').set(1)\n"
+            "    registry.counter('noc.flits').inc(1)\n"
+        )
+        index = ProjectIndex(modules=(_info(emit),))
+        first = generate_catalog_source(index)
+        second = generate_catalog_source(ProjectIndex(modules=(_info(emit),)))
+        assert first == second
+        namespace: dict = {}
+        exec(compile(first, "<catalog>", "exec"), namespace)
+        assert namespace["CATALOG"] == {
+            "noc.depth": ("gauge",),
+            "noc.flits": ("counter",),
+        }
+        assert namespace["covers"]("noc.depth") == ("gauge",)
+        assert namespace["covers"]("noc.absent") is None
+
+    def test_shipped_catalog_matches_the_tree(self):
+        """The committed generated module is fresh (cat-stale would fail
+        CI otherwise, but catching it here names the fix directly)."""
+        import pathlib
+
+        from repro.analysis import build_index
+        from repro.analysis.catalog import extract_sites
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        index, _, _ = build_index([root / "src" / "repro"])
+        fresh = build_catalog(extract_sites(index))
+        from repro.telemetry.catalog import CATALOG
+
+        assert CATALOG == fresh, (
+            "regenerate with `repro lint --write-catalog`"
+        )
+
+    def test_key_site_ordering_is_total(self):
+        sites = [
+            KeySite("b", "counter", "z.py", 2),
+            KeySite("a", "gauge", "a.py", 9),
+        ]
+        assert sorted(sites)[0].pattern == "a"

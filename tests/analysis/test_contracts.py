@@ -1,0 +1,185 @@
+"""Cross-core contract checks against the *real* core sources.
+
+Each perturbation test copies an actual shipped source file, applies a
+one-token perturbation of the kind a refactor could plausibly introduce
+(a reordered phase, an ``id()`` tie-break, a swapped rank tuple), and
+asserts ``contract-core-divergence`` fires. The unperturbed sources
+must extract cleanly -- if an anchor moves out of reach, the rule
+reports the extraction failure instead of silently passing, and the
+clean-tree test here fails first.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+from repro.analysis import ModuleInfo, ProjectIndex
+from repro.analysis.contracts import (
+    ARRAY_MODULE,
+    OBJECT_PHASES_MODULE,
+    OBJECT_RANKS_MODULE,
+    PHASE_ORDER,
+    REPLICATION_KEY,
+    SWITCH_RANK,
+    CoreContractRule,
+    extract_array_contract,
+    extract_phase_order,
+    extract_router_replication_key,
+    extract_router_switch_rank,
+)
+from tests.analysis.fixtures import fixtures_for, labelled
+from tests.analysis.helpers import assert_fixture_verdict
+
+_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+_SOURCES = {
+    OBJECT_PHASES_MODULE: _ROOT / "src" / "repro" / "noc" / "network.py",
+    OBJECT_RANKS_MODULE: _ROOT / "src" / "repro" / "noc" / "router.py",
+    ARRAY_MODULE: _ROOT / "src" / "repro" / "noc" / "arraycore.py",
+}
+
+_FIXTURES, _IDS = labelled(fixtures_for("contract"))
+
+
+@pytest.mark.parametrize("fixture", _FIXTURES, ids=_IDS)
+def test_contract_fixture(fixture):
+    assert_fixture_verdict(fixture)
+
+
+def _real_source(module: str) -> str:
+    return _SOURCES[module].read_text(encoding="utf-8")
+
+
+def _index(overrides: dict[str, str] | None = None) -> ProjectIndex:
+    overrides = overrides or {}
+    modules = []
+    for module, path in _SOURCES.items():
+        source = overrides.get(module, path.read_text(encoding="utf-8"))
+        modules.append(ModuleInfo(
+            path=str(path), module=module,
+            tree=ast.parse(source), source=source,
+        ))
+    return ProjectIndex(modules=tuple(modules))
+
+
+def _findings(overrides: dict[str, str] | None = None):
+    return list(CoreContractRule().check_project(_index(overrides)))
+
+
+def _perturb(module: str, old: str, new: str) -> dict[str, str]:
+    source = _real_source(module)
+    assert source.count(old) == 1, f"perturbation anchor not unique: {old!r}"
+    return {module: source.replace(old, new)}
+
+
+class TestRealSourcesExtract:
+    def test_object_core_phase_order(self):
+        anchor = extract_phase_order(
+            ast.parse(_real_source(OBJECT_PHASES_MODULE))
+        )
+        assert anchor is not None
+        assert anchor.value == PHASE_ORDER
+
+    def test_object_core_tie_breaks(self):
+        tree = ast.parse(_real_source(OBJECT_RANKS_MODULE))
+        switch = extract_router_switch_rank(tree)
+        replication = extract_router_replication_key(tree)
+        assert switch is not None and switch.value == SWITCH_RANK
+        assert replication is not None and replication.value == REPLICATION_KEY
+
+    def test_array_core_contract(self):
+        tree = ast.parse(_real_source(ARRAY_MODULE))
+        phases, switch, replication = extract_array_contract(tree)
+        assert phases is not None and phases.value == PHASE_ORDER
+        assert switch is not None and switch.value == SWITCH_RANK
+        assert replication is not None and replication.value == REPLICATION_KEY
+
+    def test_shipped_cores_produce_no_findings(self):
+        assert _findings() == []
+
+    def test_missing_modules_produce_no_findings(self):
+        # Analyzing an unrelated subtree must not fail the contract.
+        assert list(CoreContractRule().check_project(
+            ProjectIndex(modules=())
+        )) == []
+
+
+class TestPerturbedCopies:
+    def _assert_diverges(self, overrides, *needles):
+        findings = _findings(overrides)
+        assert findings, "perturbation went undetected"
+        blob = " | ".join(f.message for f in findings)
+        for needle in needles:
+            assert needle in blob, blob
+        assert all(f.rule == "contract-core-divergence" for f in findings)
+
+    def test_reordered_object_step_phases(self):
+        self._assert_diverges(
+            _perturb(
+                OBJECT_PHASES_MODULE,
+                "self._replication_phase(cycle)\n"
+                "        self._switch_phase(cycle)",
+                "self._switch_phase(cycle)\n"
+                "        self._replication_phase(cycle)",
+            ),
+            "object-core step() phase order",
+            "_switch_phase",
+        )
+
+    def test_router_switch_rank_by_id(self):
+        self._assert_diverges(
+            _perturb(
+                OBJECT_RANKS_MODULE,
+                "{port: str(port) for port in in_ports}",
+                "{port: id(port) for port in in_ports}",
+            ),
+            "object-core switch tie-break rank",
+            "id(port)",
+        )
+
+    def test_router_replication_key_by_id(self):
+        self._assert_diverges(
+            _perturb(
+                OBJECT_RANKS_MODULE,
+                "key=lambda p: (utilization(p), p == INJECT, str(p)),",
+                "key=lambda p: (utilization(p), p == INJECT, id(p)),",
+            ),
+            "object-core replication preference key",
+            "id(p)",
+        )
+
+    def test_array_replication_rank_tuple_swapped(self):
+        self._assert_diverges(
+            _perturb(
+                ARRAY_MODULE,
+                "key=lambda i: (i == inject, names[i])",
+                "key=lambda i: (names[i], i == inject)",
+            ),
+            "array-core replication preference key",
+        )
+
+    def test_array_contenders_sort_bypasses_rank_table(self):
+        # Sorting contenders by something other than the rank table makes
+        # the switch rank unextractable: that is a finding, not a pass.
+        findings = _findings(_perturb(
+            ARRAY_MODULE,
+            "contenders.sort(key=lambda c: rank[c[0]])",
+            "contenders.sort(key=lambda c: str(c[0]))",
+        ))
+        assert any(
+            "could not extract array-core switch tie-break rank" in f.message
+            for f in findings
+        ), findings
+
+    def test_reordered_array_step_phases(self):
+        self._assert_diverges(
+            _perturb(
+                ARRAY_MODULE,
+                "self._replication_phase(cycle, order)\n"
+                "            self._switch_phase(cycle, order)",
+                "self._switch_phase(cycle, order)\n"
+                "            self._replication_phase(cycle, order)",
+            ),
+            "array-core step() phase order",
+        )

@@ -133,8 +133,9 @@ class TestDriving:
         families = {rule.family for rule in rules}
         assert families == {
             "determinism", "process-safety", "telemetry", "exceptions",
+            "dataflow", "catalog", "contract",
         }
-        assert len(rules) == 17
+        assert len(rules) == 25
         assert rule_by_id("det-wallclock").family == "determinism"
         with pytest.raises(AnalysisError, match="unknown rule"):
             rule_by_id("no-such-rule")
